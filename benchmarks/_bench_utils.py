@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` once and return its result.
+
+    Shape-reproduction benchmarks compute a whole figure; a single round
+    keeps the suite fast while still registering a timing row.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_queries(benchmark, algorithm, queries, k, rounds=3):
+    """Benchmark a kNN workload; reports time per workload execution."""
+
+    def workload():
+        for q in queries:
+            algorithm.knn(int(q), k)
+
+    benchmark.pedantic(workload, rounds=rounds, iterations=1)

@@ -1,0 +1,33 @@
+"""Figure 6: G-tree distance-matrix layout (array vs hash tables).
+
+Paper shape: the flat array beats chained hashing by >10x and open
+addressing by several-fold at every k and density — the study's
+"implementation matters" centrepiece.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+KS = (1, 10, 25)
+DENSITIES = (0.003, 0.1)
+
+
+def test_fig06_shape(benchmark, nw):
+    by_k, by_d = run_once(
+        benchmark,
+        lambda: figures.fig06_matrix_layouts(
+            nw.graph, ks=KS, densities=DENSITIES, num_queries=10
+        ),
+    )
+    print()
+    print(by_k.format_text())
+    print(by_d.format_text())
+    # The array layout wins at every k and density; chained hashing is
+    # the worst hash layout on average.
+    for k in KS:
+        assert by_k.at("Array", k) <= by_k.at("Quad. Probing", k)
+        assert by_k.at("Array", k) <= by_k.at("Chained Hashing", k)
+    for d in DENSITIES:
+        assert by_d.at("Array", d) <= by_d.at("Chained Hashing", d)
+    assert by_k.mean("Array") < 0.8 * by_k.mean("Chained Hashing")

@@ -1,0 +1,51 @@
+"""Figure 8: road-network index size and construction time vs |V|.
+
+Paper shape: INE (the raw graph) is the space lower bound; SILC/DisBrw
+has by far the largest index and slowest build (quadratic preprocessing,
+buildable only on the smaller networks); the labelling index is next
+largest; G-tree and ROAD build in comparable time and grow roughly
+linearly.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+
+def test_fig08_shape(benchmark, suite):
+    size, build = run_once(
+        benchmark, lambda: figures.fig08_preprocessing(suite)
+    )
+    print()
+    print(size.format_text())
+    print(build.format_text())
+    names = [wb.graph.num_vertices for wb in suite.values()]
+    smallest, largest = min(names), max(names)
+    # INE is the lower bound on space everywhere.
+    for n in names:
+        assert size.at("INE", n) <= size.at("Gtree", n)
+        assert size.at("INE", n) <= size.at("ROAD", n)
+        assert size.at("INE", n) <= size.at("PHL", n)
+    # DisBrw dominates size and build time wherever it exists.
+    for n, _ in size.series.get("DisBrw", []):
+        assert size.at("DisBrw", n) >= size.at("Gtree", n)
+        assert build.at("DisBrw", n) >= build.at("Gtree", n)
+    # Index sizes grow with the network.
+    for series in ("Gtree", "ROAD", "PHL"):
+        assert size.at(series, largest) > size.at(series, smallest)
+
+
+def test_build_gtree(benchmark, nw):
+    from repro.index.gtree import GTree
+
+    benchmark.pedantic(
+        lambda: GTree(nw.graph, seed=9), rounds=1, iterations=1
+    )
+
+
+def test_build_road(benchmark, nw):
+    from repro.index.road import RoadIndex
+
+    benchmark.pedantic(
+        lambda: RoadIndex(nw.graph, seed=9), rounds=1, iterations=1
+    )

@@ -1,0 +1,33 @@
+"""Figure 9: query time vs network size + method-internal statistics.
+
+Paper shape: IER-based methods win at every size; INE is roughly flat
+with |V| (same density => similar search spaces); G-tree's border-to-
+border "path cost" grows with |V| while ROAD's bypassed-vertex count
+stays comparatively stable — the mechanism behind G-tree's shrinking
+lead on large networks.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+
+def test_fig09_shape(benchmark, suite):
+    times, stats = run_once(
+        benchmark,
+        lambda: figures.fig09_network_size(suite, num_queries=12),
+    )
+    print()
+    print(times.format_text())
+    print(stats.format_text())
+    sizes = sorted(n for n, _ in times.series["ine"])
+    largest = sizes[-1]
+    # IER-PHL beats INE and ROAD at every size.
+    for n in sizes:
+        assert times.at("ier-phl", n) < times.at("ine", n)
+        assert times.at("ier-phl", n) < times.at("road", n)
+    # G-tree's matrix path cost grows with network size.
+    costs = [stats.at("Gtree path cost", n) for n in sizes]
+    assert costs[-1] > costs[0]
+    # ROAD bypass counts are recorded and positive on the largest net.
+    assert stats.at("ROAD bypassed", largest) > 0

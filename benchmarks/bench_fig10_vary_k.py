@@ -1,0 +1,86 @@
+"""Figure 10: query time vs k on the NW and US analogues.
+
+Paper shape: IER (best oracle) is fastest across k; G-tree scales better
+with k than ROAD/DisBrw/INE; INE is the slowest at large k; on the larger
+network IER-Gt's lead over plain G-tree grows.
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import random_queries
+from repro.objects import uniform_objects
+
+from _bench_utils import run_once, run_queries
+
+KS = (1, 5, 10, 25)
+
+
+def test_fig10a_nw_shape(benchmark, nw):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig10_vary_k(nw, ks=KS, density=0.003, num_queries=12),
+    )
+    print()
+    print(result.format_text())
+    # IER-PHL is fastest at k >= 5; INE among the slowest at k=25.
+    for k in (5, 10, 25):
+        assert result.at("ier-phl", k) == min(
+            result.at(m, k) for m in result.series
+        )
+    slowest = max(result.at(m, 25) for m in result.series)
+    assert result.at("ine", 25) > 0.3 * slowest
+    # G-tree scales with k far better than INE does.
+    gtree_growth = result.at("gtree", 25) / result.at("gtree", 1)
+    ine_growth = result.at("ine", 25) / result.at("ine", 1)
+    assert gtree_growth < ine_growth
+
+
+def test_fig10b_us_shape(benchmark, us):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig10_vary_k(us, ks=KS, density=0.003, num_queries=10),
+    )
+    print()
+    print(result.format_text())
+    for k in (10, 25):
+        assert result.at("ier-phl", k) < result.at("ine", k)
+        assert result.at("gtree", k) < result.at("ine", k)
+
+
+def test_query_gtree_k10(benchmark, nw):
+    objects = uniform_objects(nw.graph, 0.01, seed=0)
+    run_queries(
+        benchmark,
+        nw.make("gtree", objects),
+        random_queries(nw.graph, 10, seed=2),
+        10,
+    )
+
+
+def test_query_ine_k10(benchmark, nw):
+    objects = uniform_objects(nw.graph, 0.01, seed=0)
+    run_queries(
+        benchmark,
+        nw.make("ine", objects),
+        random_queries(nw.graph, 10, seed=2),
+        10,
+    )
+
+
+def test_query_road_k10(benchmark, nw):
+    objects = uniform_objects(nw.graph, 0.01, seed=0)
+    run_queries(
+        benchmark,
+        nw.make("road", objects),
+        random_queries(nw.graph, 10, seed=2),
+        10,
+    )
+
+
+def test_query_disbrw_k10(benchmark, nw):
+    objects = uniform_objects(nw.graph, 0.01, seed=0)
+    run_queries(
+        benchmark,
+        nw.make("disbrw", objects),
+        random_queries(nw.graph, 10, seed=2),
+        10,
+    )

@@ -1,0 +1,35 @@
+"""Figure 13: query time per named POI set (NW and US analogues).
+
+Paper shape: sets ordered by decreasing size behave like decreasing
+density — every method slows as sets shrink; INE degrades worst on the
+sparse sets (courthouses); IER variants win on most sets.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+
+def test_fig13_nw_shape(benchmark, nw):
+    result = run_once(
+        benchmark, lambda: figures.fig13_real_pois(nw, num_queries=12)
+    )
+    print()
+    print(result.format_text())
+    # Sparse sets are harder for INE than the densest set.
+    assert result.at("ine", "courthouses") > result.at("ine", "schools")
+    # IER-PHL beats INE on the sparse half of the sets.
+    for poi in ("courthouses", "universities", "hospitals"):
+        assert result.at("ier-phl", poi) < result.at("ine", poi)
+
+
+def test_fig13_us_shape(benchmark, us):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig13_real_pois(
+            us, num_queries=8, methods=("ine", "road", "gtree", "ier-gt")
+        ),
+    )
+    print()
+    print(result.format_text())
+    assert result.at("ier-gt", "courthouses") < result.at("ine", "courthouses")

@@ -1,0 +1,41 @@
+"""Figure 16: the "original settings" reproduction (high default density).
+
+Paper shape: at the earlier studies' density (10x our default) every
+method answers fast and the methods become hard to differentiate —
+queries are "easy" for everyone, explaining discrepancies in older
+comparisons.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+HIGH_DENSITY = 0.1
+LOW_DENSITY = 0.003
+
+
+def test_fig16_shape(benchmark, suite):
+    # The paper uses the small CO dataset for this comparison.
+    co = suite["S-CO"]
+
+    def run():
+        high = figures.fig10_vary_k(
+            co, ks=(1, 10, 25), density=HIGH_DENSITY, num_queries=12
+        )
+        low = figures.fig10_vary_k(
+            co, ks=(1, 10, 25), density=LOW_DENSITY, num_queries=12
+        )
+        return high, low
+
+    high, low = run_once(benchmark, run)
+    print()
+    print(high.format_text())
+    # Methods bunch together at high density: the best/worst spread is
+    # much smaller than at the paper's (low) default density.
+    def spread(result, k):
+        values = [result.at(m, k) for m in result.series]
+        return max(values) / max(min(values), 1e-9)
+
+    assert spread(high, 25) < spread(low, 25)
+    # Everything is fast in absolute terms at high density.
+    assert max(high.at(m, 10) for m in high.series) < 4000  # microseconds

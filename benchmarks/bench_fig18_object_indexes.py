@@ -1,0 +1,34 @@
+"""Figure 18: object-index size and construction time vs density.
+
+Paper shape: the raw object list (INE) is the size lower bound; all
+object indexes are far smaller and far faster to build than road-network
+indexes; R-trees build significantly faster than the hierarchy-bound
+Occurrence List / Association Directory at scale; object storage
+gradually dominates index size as density rises.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+DENSITIES = (0.003, 0.03, 0.3)
+
+
+def test_fig18_shape(benchmark, us):
+    size, build = run_once(
+        benchmark,
+        lambda: figures.fig18_object_indexes(us, densities=DENSITIES),
+    )
+    print()
+    print(size.format_text())
+    print(build.format_text())
+    for d in DENSITIES:
+        # INE's raw list lower-bounds the structured indexes.
+        assert size.at("INE", d) <= size.at("IER/DB", d)
+        assert size.at("INE", d) <= size.at("G-tree", d)
+    # Sizes grow with density for every index.
+    for label in ("INE", "IER/DB", "G-tree", "ROAD"):
+        assert size.at(label, DENSITIES[-1]) > size.at(label, DENSITIES[0])
+    # Object indexes are orders of magnitude smaller than the road
+    # network index.
+    assert size.at("G-tree", DENSITIES[-1]) * 1024 < us.gtree.size_bytes()

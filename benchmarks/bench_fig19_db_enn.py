@@ -1,0 +1,28 @@
+"""Figure 19: DisBrw's Object Hierarchy vs the DB-ENN improvement.
+
+Paper shape: DB-ENN (R-tree Euclidean candidates) wins, most clearly at
+low k where the Object Hierarchy's intersection overhead dominates.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+KS = (1, 5, 10)
+DENSITIES = (0.003, 0.05)
+
+
+def test_fig19_shape(benchmark, nw):
+    by_k, by_d = run_once(
+        benchmark,
+        lambda: figures.fig19_db_enn(
+            nw, ks=KS, densities=DENSITIES, num_queries=12
+        ),
+    )
+    print()
+    print(by_k.format_text())
+    print(by_d.format_text())
+    # DB-ENN clearly wins at k=1 (the paper's peak improvement regime).
+    assert by_k.at("DB-ENN", 1) < by_k.at("DisBrw", 1)
+    # Overall DB-ENN is at least competitive.
+    assert by_k.mean("DB-ENN") < 1.3 * by_k.mean("DisBrw")

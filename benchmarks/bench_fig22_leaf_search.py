@@ -1,0 +1,33 @@
+"""Figure 22: the improved G-tree leaf search (Appendix A.2.1).
+
+Paper shape: the improvement is largest at high density and small k —
+over an order of magnitude at k=1 on the densest sets — because the
+original search scans the whole leaf regardless of k.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+DENSITIES = (0.003, 0.05, 0.3)
+
+
+def test_fig22_shape(benchmark, nw):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig22_leaf_search(
+            nw, densities=DENSITIES, ks=(1, 10), num_queries=15
+        ),
+    )
+    print()
+    print(result.format_text())
+    high = DENSITIES[-1]
+    # At the highest density the improved search wins clearly at k=1 and
+    # is at worst within noise at k=10 (the win shrinks as k approaches
+    # the per-leaf object count, exactly as in the paper).
+    assert result.at("k=1 (Aft)", high) < result.at("k=1 (Bef)", high)
+    assert result.at("k=10 (Aft)", high) < 1.1 * result.at("k=10 (Bef)", high)
+    # The k=1 improvement is the larger one (the paper's peak case).
+    gain_k1 = result.at("k=1 (Bef)", high) / result.at("k=1 (Aft)", high)
+    gain_k10 = result.at("k=10 (Bef)", high) / result.at("k=10 (Aft)", high)
+    assert gain_k1 > 1.2

@@ -1,0 +1,29 @@
+"""Figure 23: IER oracle comparison on travel-time graphs (NW analogue).
+
+Paper shape: PHL remains well ahead of TNR/CH across the board; all
+oracles suffer more false hits at high density (looser Euclidean bound);
+Dijkstra stays orders of magnitude behind.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+KS = (1, 10, 25)
+DENSITIES = (0.003, 0.05)
+
+
+def test_fig23_shape(benchmark, nw_tt):
+    by_k, by_d = run_once(
+        benchmark,
+        lambda: figures.fig04_ier_variants(
+            nw_tt, ks=KS, densities=DENSITIES, num_queries=10
+        ),
+    )
+    print()
+    print(by_k.format_text())
+    print(by_d.format_text())
+    for k in KS:
+        assert by_k.at("PHL", k) < by_k.at("TNR", k)
+        assert by_k.at("PHL", k) < by_k.at("CH", k)
+        assert by_k.at("PHL", k) < by_k.at("Dijk", k) / 5

@@ -1,0 +1,56 @@
+"""Figures 24 and 27: travel-time parameters and real POIs on the NW
+analogue.
+
+Paper shape: IER-PHL generally best except at the highest densities where
+the looser time-weight bound generates too many false hits and the
+expansion methods win; trends for hospitals (sparse) and fast food
+(clustered) carry over from distance weights.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+
+def test_fig24_vary_k(benchmark, nw_tt):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig10_vary_k(
+            nw_tt, ks=(1, 10, 25), density=0.003, num_queries=10,
+            methods=("ine", "road", "gtree", "ier-gt", "ier-phl"),
+        ),
+    )
+    print()
+    print(result.format_text())
+    for k in (10, 25):
+        assert result.at("ier-phl", k) < result.at("ine", k)
+
+
+def test_fig24_vary_density_crossover(benchmark, nw_tt):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig11_vary_density(
+            nw_tt, densities=(0.003, 0.3), num_queries=10,
+            methods=("ine", "gtree", "ier-phl"),
+        ),
+    )
+    print()
+    print(result.format_text())
+    # IER leads at low density; expansion wins at very high density.
+    assert result.at("ier-phl", 0.003) < result.at("ine", 0.003)
+    assert result.at("ine", 0.3) < result.at("ier-phl", 0.3)
+
+
+def test_fig27_real_pois_vary_k(benchmark, nw_tt):
+    results = run_once(
+        benchmark,
+        lambda: figures.fig15_real_k(
+            nw_tt, ks=(1, 10), num_queries=10,
+            methods=("ine", "gtree", "ier-phl"),
+        ),
+    )
+    print()
+    for result in results.values():
+        print(result.format_text())
+    hospitals = results["hospitals"]
+    assert hospitals.at("ier-phl", 10) < hospitals.at("ine", 10)

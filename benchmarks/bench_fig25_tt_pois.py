@@ -1,0 +1,37 @@
+"""Figure 25: named POI sets on travel-time graphs (NW and US analogues).
+
+Paper shape: IER-PHL dominates nearly every set (label sizes shrink on
+time weights, offsetting false hits); INE again degrades as sets shrink;
+IER-Gt loses ground relative to distance weights.
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+
+def test_fig25_nw_shape(benchmark, nw_tt):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig13_real_pois(
+            nw_tt, num_queries=10,
+            methods=("ine", "road", "gtree", "ier-gt", "ier-phl"),
+        ),
+    )
+    print()
+    print(result.format_text())
+    assert result.at("ine", "courthouses") > result.at("ine", "schools")
+    assert result.at("ier-phl", "courthouses") < result.at("ine", "courthouses")
+
+
+def test_fig25_us_shape(benchmark, us_tt):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig13_real_pois(
+            us_tt, num_queries=6,
+            methods=("ine", "gtree", "ier-phl"),
+        ),
+    )
+    print()
+    print(result.format_text())
+    assert result.at("ier-phl", "courthouses") < result.at("ine", "courthouses")

@@ -1,0 +1,41 @@
+"""Figure 26: preprocessing on travel-time graphs.
+
+Paper shape: the labelling index becomes cheaper on time weights — travel
+times exhibit stronger hierarchies, so labels shrink and PHL becomes
+buildable on every dataset (it could not be built for the two largest
+travel-distance networks).
+"""
+
+from repro.experiments import figures
+
+from _bench_utils import run_once
+
+
+def test_fig26_shape(benchmark, suite, suite_tt):
+    size_tt, build_tt = run_once(
+        benchmark,
+        lambda: figures.fig08_preprocessing(suite_tt, include_silc=False),
+    )
+    print()
+    print(size_tt.format_text())
+    print(build_tt.format_text())
+    # Hub labels shrink on travel-time weights vs travel distances.
+    size_d, _ = figures.fig08_preprocessing(suite, include_silc=False)
+    largest = max(n for n, _ in size_tt.series["PHL"])
+    assert size_tt.at("PHL", largest) < size_d.at("PHL", largest) * 1.05
+    # Index sizes still grow with |V|.
+    smallest = min(n for n, _ in size_tt.series["PHL"])
+    assert size_tt.at("PHL", largest) > size_tt.at("PHL", smallest)
+
+
+def test_label_sizes_smaller_on_travel_time(benchmark, nw, nw_tt):
+    def run():
+        return (
+            nw.hub_labels.average_label_size(),
+            nw_tt.hub_labels.average_label_size(),
+        )
+
+    dist_labels, tt_labels = run_once(benchmark, run)
+    print(f"\navg label size: distance={dist_labels:.1f} time={tt_labels:.1f}")
+    # Time weights have stronger hierarchies => labels no larger.
+    assert tt_labels < dist_labels * 1.2

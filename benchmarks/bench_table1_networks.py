@@ -1,0 +1,33 @@
+"""Table 1: road-network datasets (scaled analogues).
+
+Prints the dataset statistics table and benchmarks network generation.
+Paper shape: ten networks spanning >2 orders of magnitude in |V| with
+|E|/|V| around 2.4 and a large degree-2 fraction.
+"""
+
+from repro.experiments.tables import format_table1, table1_networks
+from repro.graph.generators import road_network
+
+from _bench_utils import run_once
+
+
+def test_table1_statistics(benchmark, suite):
+    rows = run_once(
+        benchmark,
+        lambda: table1_networks({n: wb.graph for n, wb in suite.items()}),
+    )
+    print()
+    print(format_table1(rows))
+    sizes = [r["vertices"] for r in rows]
+    assert sizes == sorted(sizes)
+    for r in rows:
+        # Road networks: sparse (|E| < 2|V|) with a real degree-2 share.
+        assert r["edges"] < 2 * r["vertices"]
+        assert r["degree2_fraction"] > 0.1
+
+
+def test_network_generation(benchmark):
+    graph = benchmark.pedantic(
+        lambda: road_network(1500, seed=5), rounds=2, iterations=1
+    )
+    assert graph.num_vertices > 1000

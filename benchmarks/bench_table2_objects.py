@@ -1,0 +1,26 @@
+"""Table 2: real-world-like object sets.
+
+Paper shape: eight POI categories whose densities span 0.00005..0.007,
+schools largest, courthouses smallest.
+"""
+
+from repro.experiments.tables import format_table2, table2_objects
+from repro.objects import poi_object_sets
+
+from _bench_utils import run_once
+
+
+def test_table2_statistics(benchmark, us):
+    rows = run_once(benchmark, lambda: table2_objects(us.graph))
+    print()
+    print(format_table2(rows))
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["schools"]["size"] >= by_name["courthouses"]["size"]
+    assert rows == sorted(rows, key=lambda r: -r["size"])
+
+
+def test_poi_generation(benchmark, us):
+    sets = benchmark.pedantic(
+        lambda: poi_object_sets(us.graph, seed=3), rounds=2, iterations=1
+    )
+    assert len(sets) == 8

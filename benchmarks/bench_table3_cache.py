@@ -1,0 +1,30 @@
+"""Table 3: cache profile of the distance-matrix layouts.
+
+Paper shape (perf counters, 250k queries): the array layout executes ~6x
+fewer instructions and suffers ~20-50x fewer cache misses than chained
+hashing; quadratic probing executes the *most* instructions but misses
+less than chaining.
+"""
+
+from repro.experiments.cache_study import format_table3, table3_cache_profile
+
+from _bench_utils import run_once
+
+
+def test_table3_shape(benchmark, nw):
+    profile = run_once(
+        benchmark,
+        lambda: table3_cache_profile(nw.graph, num_queries=40, gtree=nw.gtree),
+    )
+    print()
+    print(format_table3(profile))
+    array = profile["Array"]
+    chained = profile["Chained Hashing"]
+    probing = profile["Quadratic Probing"]
+    # Instruction ordering: array < chained < probing (paper's INS column).
+    assert array["INS"] < chained["INS"] < probing["INS"]
+    # Miss ordering per level: array << probing <= chained.
+    for level in ("L1", "L2", "L3"):
+        assert array[level] * 3 < probing[level]
+        assert probing[level] <= chained[level] * 1.05
+    assert chained["L1"] > 5 * array["L1"]

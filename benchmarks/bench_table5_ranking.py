@@ -1,0 +1,31 @@
+"""Table 5: algorithm ranking under different criteria.
+
+Paper shape: IER (best oracle) ranks 1st for query performance in almost
+every regime except high density, where INE takes over; INE is always
+best on preprocessing (it has no index); DisBrw/PHL rank worst on space.
+"""
+
+from repro.experiments.tables import format_table5, table5_ranking
+
+from _bench_utils import run_once
+
+
+def test_table5_shape(benchmark, nw, us):
+    criteria = run_once(
+        benchmark,
+        lambda: table5_ranking(nw, large_workbench=us, num_queries=12),
+    )
+    print()
+    print(format_table5(criteria))
+    # IER-PHL leads the default-settings ranking.
+    assert criteria["default"]["ier-phl"] == 1
+    # INE wins at high density (the paper's only non-IER query winner).
+    assert criteria["high_density"]["ine"] <= 2
+    # INE is unbeatable on preprocessing (no index at all).
+    assert criteria["network_build_time"]["ine"] == 1
+    assert criteria["network_space"]["ine"] == 1
+    # DisBrw is the most expensive index wherever it exists.
+    if "disbrw" in criteria["network_space"]:
+        assert criteria["network_space"]["disbrw"] == max(
+            criteria["network_space"].values()
+        )

@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures: scaled networks and prebuilt workbenches.
+
+One workbench per paper role:
+
+* ``nw``  — the "NW" analogue (default mid-size network; SILC available,
+  so DisBrw participates, as in the paper where NW is the largest network
+  DisBrw could be built for).
+* ``us``  — the "US" analogue (largest network; no SILC).
+* ``nw_tt`` / ``us_tt`` — the same networks with travel-time weights.
+* ``suite`` — four growing networks for the vs-|V| experiments.
+
+All indexes are built once per pytest session; individual benchmark
+modules only run queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import road_network, travel_time_weights
+from repro.experiments.runner import Workbench
+
+NW_SIZE = 2500
+US_SIZE = 5000
+SUITE_SIZES = ((600, "S-DE"), (1200, "S-CO"), (2500, "S-NW"), (4000, "S-W"))
+
+
+@pytest.fixture(scope="session")
+def nw():
+    return Workbench(road_network(NW_SIZE, seed=42, name="S-NW"))
+
+
+@pytest.fixture(scope="session")
+def us():
+    return Workbench(road_network(US_SIZE, seed=1042, name="S-US"))
+
+
+@pytest.fixture(scope="session")
+def nw_tt(nw):
+    return Workbench(travel_time_weights(nw.graph, seed=42))
+
+
+@pytest.fixture(scope="session")
+def us_tt(us):
+    return Workbench(travel_time_weights(us.graph, seed=1042))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    out = {}
+    for size, name in SUITE_SIZES:
+        out[name] = Workbench(road_network(size, seed=100 + size, name=name))
+    return out
+
+
+@pytest.fixture(scope="session")
+def suite_tt(suite):
+    return {
+        name: Workbench(travel_time_weights(wb.graph, seed=7))
+        for name, wb in suite.items()
+    }
+
+

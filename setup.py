@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517/660 editable installs (which build a wheel) fail.  ``python setup.py
+develop`` / ``pip install -e . --no-build-isolation`` route through this
+shim instead; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

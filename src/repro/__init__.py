@@ -1,0 +1,104 @@
+"""repro — k-Nearest Neighbors on Road Networks (VLDB 2016 reproduction).
+
+A from-scratch, in-memory Python implementation of the systems studied in
+Abeywickrama, Cheema & Taniar, *k-Nearest Neighbors on Road Networks: A
+Journey in Experimentation and In-Memory Implementation* (PVLDB 9(6)):
+
+* the five kNN methods — INE, IER, Distance Browsing, ROAD and G-tree;
+* the shortest-path oracles IER is revived with — Dijkstra, A*,
+  Contraction Hierarchies, pruned hub labelling (the PHL stand-in) and
+  Transit Node Routing;
+* their substrates — CSR graphs, multilevel partitioning, R-trees,
+  Morton/region quadtrees, SILC;
+* workload generators and the experiment harness regenerating every
+  table and figure of the paper's evaluation at laptop scale.
+
+Quickstart::
+
+    from repro import road_network, uniform_objects, INE
+
+    graph = road_network(2000, seed=7)
+    objects = uniform_objects(graph, density=0.01, seed=1)
+    print(INE(graph, objects).knn(query=0, k=5))
+"""
+
+from repro.graph import (
+    Graph,
+    GraphBuilder,
+    delaunay_network,
+    grid_network,
+    load_dimacs,
+    road_network,
+    save_dimacs,
+    scaled_network_suite,
+)
+from repro.graph.generators import chain_heavy_network, travel_time_weights
+from repro.index import (
+    GTree,
+    GTreeOracle,
+    OccurrenceList,
+    RoadIndex,
+    AssociationDirectory,
+    SILCIndex,
+)
+from repro.knn import (
+    INE,
+    IER,
+    DistanceBrowsing,
+    GTreeKNN,
+    RoadKNN,
+    knn_with_paths,
+    silc_paths_for_results,
+    verify_knn_result,
+)
+from repro.objects import (
+    clustered_objects,
+    min_distance_object_sets,
+    poi_object_sets,
+    uniform_objects,
+)
+from repro.pathfinding import (
+    AStarOracle,
+    ContractionHierarchy,
+    DijkstraOracle,
+    HubLabels,
+    TransitNodeRouting,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "grid_network",
+    "delaunay_network",
+    "road_network",
+    "chain_heavy_network",
+    "travel_time_weights",
+    "scaled_network_suite",
+    "load_dimacs",
+    "save_dimacs",
+    "GTree",
+    "GTreeOracle",
+    "OccurrenceList",
+    "RoadIndex",
+    "AssociationDirectory",
+    "SILCIndex",
+    "INE",
+    "IER",
+    "DistanceBrowsing",
+    "GTreeKNN",
+    "RoadKNN",
+    "verify_knn_result",
+    "knn_with_paths",
+    "silc_paths_for_results",
+    "uniform_objects",
+    "clustered_objects",
+    "min_distance_object_sets",
+    "poi_object_sets",
+    "DijkstraOracle",
+    "AStarOracle",
+    "ContractionHierarchy",
+    "HubLabels",
+    "TransitNodeRouting",
+]

@@ -1,0 +1,141 @@
+"""Command-line interface: quick queries and experiments without code.
+
+Examples::
+
+    # generate a network, drop objects, answer one query with every method
+    python -m repro query --vertices 2000 --density 0.01 --k 5 --query 42
+
+    # compare method timings at several densities
+    python -m repro compare --vertices 2000 --k 10
+
+    # dataset statistics for a DIMACS file
+    python -m repro info --gr network.gr --co network.co
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments.runner import Workbench, measure_query_time, random_queries
+from repro.graph.dimacs import load_dimacs
+from repro.graph.generators import road_network, travel_time_weights
+from repro.objects import uniform_objects
+from repro.utils.counters import Counters
+
+
+def _build_graph(args: argparse.Namespace):
+    if getattr(args, "gr", None):
+        graph = load_dimacs(args.gr, getattr(args, "co", None))
+    else:
+        graph = road_network(args.vertices, seed=args.seed)
+    if getattr(args, "travel_time", False):
+        graph = travel_time_weights(graph, seed=args.seed)
+    return graph
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    workbench = Workbench(graph)
+    objects = uniform_objects(graph, args.density, seed=args.seed, minimum=args.k)
+    query = args.query if args.query is not None else graph.num_vertices // 2
+    print(f"{graph}, |O|={len(objects)}, query={query}, k={args.k}")
+    methods = args.methods or workbench.available_methods()
+    reference: Optional[List[float]] = None
+    for method in methods:
+        alg = workbench.make(method, objects)
+        counters = Counters()
+        result = alg.knn(query, args.k, counters=counters)
+        distances = [d for d, _ in result]
+        shown = ", ".join(f"v{v}@{d:.2f}" for d, v in result)
+        print(f"  {method:10} [{shown}]")
+        if reference is None:
+            reference = distances
+        elif not np.allclose(reference, distances, rtol=1e-9):
+            print(f"  !! {method} disagrees with {methods[0]}", file=sys.stderr)
+            return 1
+    print("all methods agree")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    workbench = Workbench(graph)
+    queries = random_queries(graph, args.queries, seed=args.seed)
+    methods = args.methods or workbench.available_methods()
+    densities = args.densities or [0.001, 0.01, 0.1]
+    header = f"{'method':10}" + "".join(f"{d:>12}" for d in densities)
+    print(f"{graph}, k={args.k}, {args.queries} queries/cell")
+    print(header)
+    for method in methods:
+        row = f"{method:10}"
+        for density in densities:
+            objects = uniform_objects(
+                graph, density, seed=args.seed, minimum=args.k
+            )
+            alg = workbench.make(method, objects)
+            row += f"{measure_query_time(alg, queries, args.k):>10.0f}us"
+        print(row)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    degrees = np.diff(graph.vertex_start)
+    print(graph)
+    print(f"  avg degree      {float(degrees.mean()):.2f}")
+    print(f"  degree-2 share  {100 * float((degrees == 2).mean()):.1f}%")
+    print(f"  max speed S     {graph.max_speed():.2f}")
+    print(f"  CSR footprint   {graph.size_bytes() / 1024:.0f} KB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="kNN on road networks (VLDB 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--vertices", type=int, default=2000,
+                       help="synthetic network size (ignored with --gr)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--gr", help="DIMACS .gr file instead of a synthetic network")
+        p.add_argument("--co", help="DIMACS .co coordinate file")
+        p.add_argument("--travel-time", action="store_true",
+                       help="use travel-time edge weights")
+
+    q = sub.add_parser("query", help="answer one kNN query with every method")
+    common(q)
+    q.add_argument("--density", type=float, default=0.01)
+    q.add_argument("--k", type=int, default=5)
+    q.add_argument("--query", type=int, help="query vertex (default: centre id)")
+    q.add_argument("--methods", nargs="*", help="subset of methods to run")
+    q.set_defaults(func=cmd_query)
+
+    c = sub.add_parser("compare", help="timing table across densities")
+    common(c)
+    c.add_argument("--k", type=int, default=10)
+    c.add_argument("--queries", type=int, default=20)
+    c.add_argument("--densities", nargs="*", type=float)
+    c.add_argument("--methods", nargs="*")
+    c.set_defaults(func=cmd_compare)
+
+    i = sub.add_parser("info", help="dataset statistics")
+    common(i)
+    i.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

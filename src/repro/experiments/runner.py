@@ -1,0 +1,250 @@
+"""Workbench, workload generation and measurement plumbing.
+
+``Workbench`` lazily builds and caches every road-network index for one
+graph, and constructs any of the paper's kNN method instances by name —
+the single entry point the figure functions and the benchmark suite use,
+mirroring the paper's "same subroutines for common tasks" methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.index.gtree import GTree, GTreeOracle
+from repro.index.road import RoadIndex
+from repro.index.silc import SILCIndex
+from repro.knn.base import KNNAlgorithm
+from repro.knn.distance_browsing import DistanceBrowsing
+from repro.knn.gtree_knn import GTreeKNN
+from repro.knn.ier import IER
+from repro.knn.ine import INE
+from repro.knn.road_knn import RoadKNN
+from repro.pathfinding.astar import AStarOracle
+from repro.pathfinding.ch import ContractionHierarchy
+from repro.pathfinding.dijkstra import DijkstraOracle
+from repro.pathfinding.hub_labels import HubLabels
+from repro.pathfinding.tnr import TransitNodeRouting
+
+#: Methods the harness knows how to construct.
+METHOD_NAMES = (
+    "ine",
+    "gtree",
+    "road",
+    "disbrw",
+    "disbrw-oh",
+    "ier-dijk",
+    "ier-astar",
+    "ier-gt",
+    "ier-phl",
+    "ier-ch",
+    "ier-tnr",
+)
+
+#: SILC requires all-pairs work; like the paper (which could build DisBrw
+#: only on the five smallest datasets) we cap the network size it is
+#: built for.
+SILC_MAX_VERTICES = 9000
+
+
+class Workbench:
+    """Lazily built index collection for one road network."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        tau: Optional[int] = None,
+        road_levels: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.seed = seed
+        self._tau = tau
+        self._road_levels = road_levels
+        self._gtree: Optional[GTree] = None
+        self._road: Optional[RoadIndex] = None
+        self._silc: Optional[SILCIndex] = None
+        self._ch: Optional[ContractionHierarchy] = None
+        self._hub_labels: Optional[HubLabels] = None
+        self._tnr: Optional[TransitNodeRouting] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def gtree(self) -> GTree:
+        if self._gtree is None:
+            self._gtree = GTree(self.graph, tau=self._tau, seed=self.seed)
+        return self._gtree
+
+    @property
+    def road(self) -> RoadIndex:
+        if self._road is None:
+            self._road = RoadIndex(
+                self.graph, levels=self._road_levels, seed=self.seed
+            )
+        return self._road
+
+    @property
+    def silc(self) -> SILCIndex:
+        if self._silc is None:
+            if self.graph.num_vertices > SILC_MAX_VERTICES:
+                raise MemoryError(
+                    f"SILC capped at {SILC_MAX_VERTICES} vertices "
+                    f"(network has {self.graph.num_vertices}); the paper "
+                    "hits the same wall on its five largest datasets"
+                )
+            self._silc = SILCIndex(self.graph)
+        return self._silc
+
+    @property
+    def silc_available(self) -> bool:
+        return self.graph.num_vertices <= SILC_MAX_VERTICES
+
+    @property
+    def ch(self) -> ContractionHierarchy:
+        if self._ch is None:
+            self._ch = ContractionHierarchy(self.graph)
+        return self._ch
+
+    @property
+    def hub_labels(self) -> HubLabels:
+        if self._hub_labels is None:
+            order = list(np.argsort(-self.ch.rank))
+            self._hub_labels = HubLabels(self.graph, order=order)
+        return self._hub_labels
+
+    @property
+    def tnr(self) -> TransitNodeRouting:
+        if self._tnr is None:
+            self._tnr = TransitNodeRouting(self.graph, ch=self.ch)
+        return self._tnr
+
+    # ------------------------------------------------------------------
+    def make(self, method: str, objects: Sequence[int], **kwargs) -> KNNAlgorithm:
+        """Construct a kNN method instance by harness name."""
+        if method == "ine":
+            return INE(self.graph, objects, **kwargs)
+        if method == "gtree":
+            return GTreeKNN(self.gtree, objects, **kwargs)
+        if method == "road":
+            return RoadKNN(self.road, objects, **kwargs)
+        if method == "disbrw":
+            return DistanceBrowsing(self.silc, objects, **kwargs)
+        if method == "disbrw-oh":
+            return DistanceBrowsing(
+                self.silc, objects, candidate_source="hierarchy", **kwargs
+            )
+        if method == "ier-dijk":
+            return IER(self.graph, objects, DijkstraOracle(self.graph), **kwargs)
+        if method == "ier-astar":
+            return IER(self.graph, objects, AStarOracle(self.graph), **kwargs)
+        if method == "ier-gt":
+            return IER(self.graph, objects, GTreeOracle(self.gtree), **kwargs)
+        if method == "ier-phl":
+            return IER(self.graph, objects, self.hub_labels, **kwargs)
+        if method == "ier-ch":
+            return IER(self.graph, objects, self.ch, **kwargs)
+        if method == "ier-tnr":
+            return IER(self.graph, objects, self.tnr, **kwargs)
+        raise ValueError(f"unknown method {method!r}")
+
+    def available_methods(self, include_disbrw: bool = True) -> List[str]:
+        """The paper's main-comparison methods buildable on this network."""
+        methods = ["ine", "road", "gtree", "ier-gt", "ier-phl"]
+        if include_disbrw and self.silc_available:
+            methods.append("disbrw")
+        return methods
+
+
+def random_queries(graph: Graph, count: int, seed: int = 0) -> np.ndarray:
+    """Uniformly random query vertices (the paper's query workload)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, graph.num_vertices, size=count)
+
+
+def measure_query_time(
+    algorithm: KNNAlgorithm,
+    queries: Sequence[int],
+    k: int,
+    repeats: int = 2,
+) -> float:
+    """Mean query time in microseconds over the workload.
+
+    The minimum over ``repeats`` passes is reported, which suppresses
+    cold-cache and GC noise (the paper averages 10,000 queries; we use
+    fewer queries but repeated passes).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for q in queries:
+            algorithm.knn(int(q), k)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / max(len(queries), 1) * 1e6
+
+
+class ExperimentResult:
+    """One figure/table worth of series.
+
+    ``series`` maps a method/series name to a list of (x, y) points.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        series: Optional[Dict[str, List[Tuple[object, float]]]] = None,
+    ) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.series: Dict[str, List[Tuple[object, float]]] = series or {}
+
+    def add(self, name: str, x: object, y: float) -> None:
+        self.series.setdefault(name, []).append((x, y))
+
+    def ys(self, name: str) -> List[float]:
+        return [y for _, y in self.series[name]]
+
+    def at(self, name: str, x: object) -> float:
+        for px, py in self.series[name]:
+            if px == x:
+                return py
+        raise KeyError(f"{name} has no point at {x!r}")
+
+    def mean(self, name: str) -> float:
+        ys = self.ys(name)
+        return sum(ys) / len(ys)
+
+    def format_text(self) -> str:
+        """Render as an aligned text table (x down, series across)."""
+        xs: List[object] = []
+        for points in self.series.values():
+            for x, _ in points:
+                if x not in xs:
+                    xs.append(x)
+        names = list(self.series)
+        header = [self.x_label] + names
+        rows = [header]
+        lookup = {
+            name: {x: y for x, y in points}
+            for name, points in self.series.items()
+        }
+        for x in xs:
+            row = [str(x)]
+            for name in names:
+                y = lookup[name].get(x)
+                row.append("-" if y is None else f"{y:,.2f}")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [f"== {self.title} ({self.y_label}) =="]
+        for r in rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.title!r}, series={list(self.series)})"

@@ -1,0 +1,30 @@
+"""Road-network graph substrate.
+
+Provides the CSR graph structure recommended by the paper (Section 6.2,
+choice 3), synthetic road-network generators standing in for the DIMACS
+datasets, a DIMACS reader/writer for real files, and the multilevel
+partitioner shared by G-tree and ROAD.
+"""
+
+from repro.graph.graph import Graph, GraphBuilder
+from repro.graph.generators import (
+    delaunay_network,
+    grid_network,
+    road_network,
+    scaled_network_suite,
+)
+from repro.graph.dimacs import load_dimacs, save_dimacs
+from repro.graph.partition import partition_graph, recursive_partition
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "grid_network",
+    "delaunay_network",
+    "road_network",
+    "scaled_network_suite",
+    "load_dimacs",
+    "save_dimacs",
+    "partition_graph",
+    "recursive_partition",
+]

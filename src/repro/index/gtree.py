@@ -1,0 +1,832 @@
+"""G-tree: hierarchical graph partition index (Zhong et al., TKDE 2015).
+
+The index recursively partitions the road network with fanout ``f`` until
+subgraphs have at most ``tau`` vertices (Section 3.5).  Every tree node
+stores its *borders* and a *distance matrix*; network distances are
+"assembled" along the tree path between two vertices by repeated min-plus
+steps over these matrices, with *materialization* caching the distances
+from a fixed source to each visited node's borders — the property that
+makes repeated queries from one source cheap (MGtree, Section 5).
+
+Implementation notes mirroring the paper:
+
+* **Matrix layout is pluggable** (Section 6.1): the production backend is
+  a flat numpy array indexed by grouped child borders; two hash-table
+  backends reproduce the Figure 6 ablation.
+* **Matrix exactness**: bottom-up construction yields within-subgraph
+  distances; a top-down correction pass (documented in DESIGN.md) injects
+  each node's parent-level border-to-border distances so all matrices
+  hold *global* shortest distances.  Property tests assert assembly ==
+  Dijkstra.
+* **Improved leaf search** (Appendix A.2.1) runs a within-leaf Dijkstra
+  augmented with exact border-to-border "clique" edges, emitting objects
+  in exact global-distance order; the pre-improvement behaviour is kept
+  for the Figure 22 ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.graph.graph import Graph
+from repro.graph.partition import recursive_partition
+from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.pqueue import BinaryHeap
+
+INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Distance-matrix backends (Figure 6 / Table 3)
+# ----------------------------------------------------------------------
+class ArrayMatrix:
+    """Flat 2-D numpy distance matrix — the paper's cache-friendly layout.
+
+    Min-plus transitions slice contiguous row/column groups, which is the
+    sequential-access property Section 6.1 credits for the >10x win.
+    """
+
+    kind = "array"
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.m = np.asarray(matrix, dtype=np.float64)
+
+    def get(self, i: int, j: int) -> float:
+        return float(self.m[i, j])
+
+    def minplus(
+        self, prev: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """``out[j] = min_i prev[i] + M[rows[i], cols[j]]`` (vectorised)."""
+        sub = self.m[np.ix_(rows, cols)]
+        return (prev[:, None] + sub).min(axis=0)
+
+    def size_bytes(self) -> int:
+        return int(self.m.nbytes)
+
+
+class HashMatrixTuple:
+    """Dict keyed by ``(i, j)`` tuples — the chained-hashing analogue.
+
+    Tuple hashing plus per-entry boxing gives the worst locality of the
+    three backends, like ``std::unordered_map`` in the paper.
+    """
+
+    kind = "hash_tuple"
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        m = np.asarray(matrix, dtype=np.float64)
+        self.shape = m.shape
+        self.d = {
+            (i, j): float(m[i, j])
+            for i in range(m.shape[0])
+            for j in range(m.shape[1])
+        }
+
+    def get(self, i: int, j: int) -> float:
+        return self.d[(i, j)]
+
+    def minplus(
+        self, prev: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        d = self.d
+        out = np.full(len(cols), INF)
+        for a, i in enumerate(rows):
+            base = prev[a]
+            for b, j in enumerate(cols):
+                total = base + d[(int(i), int(j))]
+                if total < out[b]:
+                    out[b] = total
+        return out
+
+    def size_bytes(self) -> int:
+        # dict entry overhead dominated by key tuple + boxed float.
+        return 104 * len(self.d)
+
+
+class HashMatrixPacked:
+    """Dict keyed by packed integers — the open-addressing analogue.
+
+    Cheaper hashing than tuples (like quadratic probing vs chaining) but
+    still no sequential locality.
+    """
+
+    kind = "hash_packed"
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        m = np.asarray(matrix, dtype=np.float64)
+        self.shape = m.shape
+        ncols = m.shape[1]
+        self.ncols = ncols
+        self.d = {
+            i * ncols + j: float(m[i, j])
+            for i in range(m.shape[0])
+            for j in range(ncols)
+        }
+
+    def get(self, i: int, j: int) -> float:
+        return self.d[i * self.ncols + j]
+
+    def minplus(
+        self, prev: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        d = self.d
+        ncols = self.ncols
+        out = np.full(len(cols), INF)
+        for a, i in enumerate(rows):
+            base = prev[a]
+            row = int(i) * ncols
+            for b, j in enumerate(cols):
+                total = base + d[row + int(j)]
+                if total < out[b]:
+                    out[b] = total
+        return out
+
+    def size_bytes(self) -> int:
+        return 72 * len(self.d)
+
+
+MATRIX_BACKENDS = {
+    "array": ArrayMatrix,
+    "hash_tuple": HashMatrixTuple,
+    "hash_packed": HashMatrixPacked,
+}
+
+
+# ----------------------------------------------------------------------
+# Tree node
+# ----------------------------------------------------------------------
+class GTreeNode:
+    """One G-tree node (a subgraph of the road network)."""
+
+    __slots__ = (
+        "id",
+        "parent",
+        "children",
+        "level",
+        "leaf_lo",
+        "leaf_hi",
+        "vertices",
+        "borders",
+        "child_borders",
+        "matrix",
+        "pos_in_parent",
+        "own_border_pos",
+        "vertex_pos",
+        "leaf_adj",
+    )
+
+    def __init__(self, node_id: int, parent: int, level: int) -> None:
+        self.id = node_id
+        self.parent = parent
+        self.children: List[int] = []
+        self.level = level
+        self.leaf_lo = 0  # DFS leaf-interval for subtree membership tests
+        self.leaf_hi = 0
+        self.vertices: Optional[np.ndarray] = None  # leaf only
+        self.borders: np.ndarray = np.empty(0, dtype=np.int64)
+        self.child_borders: Optional[np.ndarray] = None  # internal only
+        self.matrix = None
+        self.pos_in_parent: np.ndarray = np.empty(0, dtype=np.int64)
+        self.own_border_pos: np.ndarray = np.empty(0, dtype=np.int64)
+        self.vertex_pos: Optional[Dict[int, int]] = None  # leaf only
+        self.leaf_adj: Optional[List[List[Tuple[int, float]]]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class GTree:
+    """The G-tree index.
+
+    Parameters
+    ----------
+    graph:
+        Road network.
+    fanout:
+        Partition fanout f (paper default 4).
+    tau:
+        Leaf capacity; the paper scales it with network size (64 for DE up
+        to 512 for US).  Default picks ``max(32, ~sqrt(V))`` similarly.
+    matrix_backend:
+        One of ``"array"`` (default), ``"hash_tuple"``, ``"hash_packed"``.
+    """
+
+    name = "gtree"
+
+    def __init__(
+        self,
+        graph: Graph,
+        fanout: int = 4,
+        tau: Optional[int] = None,
+        matrix_backend: str = "array",
+        seed: int = 0,
+    ) -> None:
+        if matrix_backend not in MATRIX_BACKENDS:
+            raise ValueError(f"unknown matrix backend {matrix_backend!r}")
+        self.graph = graph
+        self.fanout = fanout
+        if tau is None:
+            tau = max(32, int(np.sqrt(graph.num_vertices) / 2) * 4)
+        self.tau = tau
+        self.matrix_backend = matrix_backend
+        start = time.perf_counter()
+        self._build(seed)
+        self._build_time = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, seed: int) -> None:
+        graph = self.graph
+        hierarchy = recursive_partition(
+            graph, fanout=self.fanout, max_leaf_size=self.tau, seed=seed
+        )
+
+        # Flatten the hierarchy into id-addressed nodes.
+        self.nodes: List[GTreeNode] = []
+
+        def add(pnode, parent_id: int, level: int) -> int:
+            node = GTreeNode(len(self.nodes), parent_id, level)
+            self.nodes.append(node)
+            for child in pnode.children:
+                cid = add(child, node.id, level + 1)
+                node.children.append(cid)
+            if not pnode.children:
+                node.vertices = np.sort(np.asarray(pnode.vertices, dtype=np.int64))
+            return node.id
+
+        add(hierarchy, -1, 0)
+        self.root = 0
+
+        # DFS leaf intervals + per-vertex leaf assignment.
+        n = graph.num_vertices
+        self.leaf_of = np.full(n, -1, dtype=np.int64)
+        self.leaf_index_of = np.full(n, -1, dtype=np.int64)
+        counter = [0]
+
+        def assign(node: GTreeNode) -> None:
+            node.leaf_lo = counter[0]
+            if node.is_leaf:
+                self.leaf_of[node.vertices] = node.id
+                counter[0] += 1
+            else:
+                for cid in node.children:
+                    assign(self.nodes[cid])
+            node.leaf_hi = counter[0]
+
+        assign(self.nodes[self.root])
+        for node in self.nodes:
+            if node.is_leaf:
+                self.leaf_index_of[node.vertices] = node.leaf_lo
+
+        # Borders: vertex u is a border of node N iff some neighbour's
+        # leaf-interval index falls outside N's interval.
+        nmin = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        nmax = np.full(n, -1, dtype=np.int64)
+        for u in range(n):
+            targets, _ = graph.neighbor_slice(u)
+            if len(targets):
+                li = self.leaf_index_of[targets]
+                nmin[u] = li.min()
+                nmax[u] = li.max()
+        for node in self.nodes:
+            verts = self._node_vertices(node)
+            mask = (nmin[verts] < node.leaf_lo) | (nmax[verts] >= node.leaf_hi)
+            node.borders = verts[mask]
+
+        # Grouped child borders + positional indexes.
+        for node in self.nodes:
+            if node.is_leaf:
+                node.vertex_pos = {int(v): i for i, v in enumerate(node.vertices)}
+                continue
+            groups = []
+            offset = 0
+            for cid in node.children:
+                child = self.nodes[cid]
+                groups.append(child.borders)
+                child.pos_in_parent = np.arange(
+                    offset, offset + len(child.borders), dtype=np.int64
+                )
+                offset += len(child.borders)
+            node.child_borders = (
+                np.concatenate(groups) if groups else np.empty(0, dtype=np.int64)
+            )
+            pos_of = {int(v): i for i, v in enumerate(node.child_borders)}
+            node.own_border_pos = np.asarray(
+                [pos_of[int(b)] for b in node.borders], dtype=np.int64
+            )
+
+        self._build_matrices()
+
+    def _node_vertices(self, node: GTreeNode) -> np.ndarray:
+        if node.is_leaf:
+            return node.vertices
+        parts = [self._node_vertices(self.nodes[c]) for c in node.children]
+        return np.concatenate(parts)
+
+    # -- matrix machinery ------------------------------------------------
+    def _leaf_local_graph(
+        self, node: GTreeNode, border_clique: Optional[np.ndarray]
+    ) -> List[List[Tuple[int, float]]]:
+        """Local adjacency over leaf vertices (+ optional border clique)."""
+        pos = node.vertex_pos
+        adj: List[List[Tuple[int, float]]] = [[] for _ in node.vertices]
+        for v in node.vertices:
+            i = pos[int(v)]
+            targets, weights = self.graph.neighbor_slice(int(v))
+            for t, w in zip(targets, weights):
+                j = pos.get(int(t))
+                if j is not None:
+                    adj[i].append((j, float(w)))
+        if border_clique is not None:
+            bpos = [pos[int(b)] for b in node.borders]
+            nb = len(bpos)
+            for a in range(nb):
+                for b in range(nb):
+                    if a != b and np.isfinite(border_clique[a, b]):
+                        adj[bpos[a]].append((bpos[b], float(border_clique[a, b])))
+        return adj
+
+    @staticmethod
+    def _multi_dijkstra(
+        adj: List[List[Tuple[int, float]]], sources: Sequence[int]
+    ) -> np.ndarray:
+        """Dijkstra from each source over a small local adjacency.
+
+        Parallel edges (e.g. a raw edge coinciding with a clique edge)
+        are collapsed to their minimum — scipy's COO constructor would
+        otherwise *sum* duplicates.
+        """
+        n = len(adj)
+        if n == 0:
+            return np.empty((len(sources), 0))
+        best: Dict[Tuple[int, int], float] = {}
+        for u, lst in enumerate(adj):
+            for v, w in lst:
+                key = (u, v)
+                prev = best.get(key)
+                if prev is None or w < prev:
+                    best[key] = w
+        rows = np.fromiter((k[0] for k in best), dtype=np.int64, count=len(best))
+        cols = np.fromiter((k[1] for k in best), dtype=np.int64, count=len(best))
+        data = np.fromiter(best.values(), dtype=np.float64, count=len(best))
+        m = csr_matrix((data, (rows, cols)), shape=(n, n))
+        if not sources:
+            return np.empty((0, n))
+        return _csgraph_dijkstra(m, directed=True, indices=list(sources))
+
+    def _leaf_matrix(
+        self, node: GTreeNode, border_clique: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """(borders x leaf vertices) distance matrix for a leaf."""
+        adj = self._leaf_local_graph(node, border_clique)
+        node.leaf_adj = adj if border_clique is not None else node.leaf_adj
+        sources = [node.vertex_pos[int(b)] for b in node.borders]
+        return self._multi_dijkstra(adj, sources)
+
+    def _internal_minigraph(
+        self, node: GTreeNode, own_clique: Optional[np.ndarray]
+    ) -> List[List[Tuple[int, float]]]:
+        """Minigraph over ``node.child_borders``.
+
+        Edges: per-child border cliques (from child matrices), original
+        cross edges between children, and optionally a clique over the
+        node's own borders carrying parent-level exact distances.
+        """
+        cb = node.child_borders
+        pos_of = {int(v): i for i, v in enumerate(cb)}
+        adj: List[List[Tuple[int, float]]] = [[] for _ in cb]
+        for cid in node.children:
+            child = self.nodes[cid]
+            bb = self._child_border_to_border(child)
+            idx = child.pos_in_parent
+            nb = len(idx)
+            for a in range(nb):
+                for b in range(nb):
+                    if a != b and np.isfinite(bb[a, b]):
+                        adj[idx[a]].append((int(idx[b]), float(bb[a, b])))
+        # Cross edges between different children (both endpoints are
+        # borders of their child, hence present in child_borders).
+        for i, u in enumerate(cb):
+            targets, weights = self.graph.neighbor_slice(int(u))
+            for t, w in zip(targets, weights):
+                j = pos_of.get(int(t))
+                if j is None:
+                    continue
+                if self._child_of(node, int(u)) != self._child_of(node, int(t)):
+                    adj[i].append((j, float(w)))
+        if own_clique is not None:
+            obp = node.own_border_pos
+            nb = len(obp)
+            for a in range(nb):
+                for b in range(nb):
+                    if a != b and np.isfinite(own_clique[a, b]):
+                        adj[int(obp[a])].append((int(obp[b]), float(own_clique[a, b])))
+        return adj
+
+    def _child_of(self, node: GTreeNode, vertex: int) -> int:
+        """Which child of ``node`` contains ``vertex`` (by leaf interval)."""
+        li = int(self.leaf_index_of[vertex])
+        for cid in node.children:
+            child = self.nodes[cid]
+            if child.leaf_lo <= li < child.leaf_hi:
+                return cid
+        return -1
+
+    def _child_border_to_border(self, child: GTreeNode) -> np.ndarray:
+        """Border-to-border submatrix of a child node's raw matrix."""
+        m = child.matrix.m if hasattr(child.matrix, "m") else None
+        if m is None:
+            raise RuntimeError("matrices must be built as arrays first")
+        if child.is_leaf:
+            cols = [child.vertex_pos[int(b)] for b in child.borders]
+            rows = np.arange(len(child.borders))
+            return m[np.ix_(rows, cols)]
+        return m[np.ix_(child.own_border_pos, child.own_border_pos)]
+
+    def _build_matrices(self) -> None:
+        # Pass 1 (bottom-up): within-subgraph matrices.
+        post_order: List[GTreeNode] = []
+
+        def visit(node: GTreeNode) -> None:
+            for cid in node.children:
+                visit(self.nodes[cid])
+            post_order.append(node)
+
+        visit(self.nodes[self.root])
+        for node in post_order:
+            if node.is_leaf:
+                node.matrix = ArrayMatrix(self._leaf_matrix(node, None))
+            else:
+                adj = self._internal_minigraph(node, None)
+                node.matrix = ArrayMatrix(
+                    self._multi_dijkstra(adj, list(range(len(node.child_borders))))
+                )
+
+        # Pass 2 (top-down): inject parent-level exact border distances so
+        # every matrix becomes globally exact (out-and-back paths).
+        order = sorted(self.nodes, key=lambda nd: nd.level)
+        for node in order:
+            if node.id == self.root:
+                continue
+            parent = self.nodes[node.parent]
+            pm = parent.matrix.m
+            clique = pm[np.ix_(node.pos_in_parent, node.pos_in_parent)]
+            if node.is_leaf:
+                node.matrix = ArrayMatrix(self._leaf_matrix(node, clique))
+            else:
+                adj = self._internal_minigraph(node, clique)
+                node.matrix = ArrayMatrix(
+                    self._multi_dijkstra(adj, list(range(len(node.child_borders))))
+                )
+        # Root leaf adjacency (graph smaller than tau: root is a leaf).
+        root = self.nodes[self.root]
+        if root.is_leaf and root.leaf_adj is None:
+            root.leaf_adj = self._leaf_local_graph(root, None)
+
+        # Convert to the requested backend.
+        if self.matrix_backend != "array":
+            backend = MATRIX_BACKENDS[self.matrix_backend]
+            for node in self.nodes:
+                node.matrix = backend(node.matrix.m)
+
+    # ------------------------------------------------------------------
+    # Assembly (materialized distance computation)
+    # ------------------------------------------------------------------
+    def is_ancestor(self, node_id: int, leaf_id: int) -> bool:
+        node = self.nodes[node_id]
+        leaf = self.nodes[leaf_id]
+        return node.leaf_lo <= leaf.leaf_lo and leaf.leaf_hi <= node.leaf_hi
+
+    def child_towards(self, node_id: int, leaf_id: int) -> int:
+        """The child of ``node_id`` whose subtree contains ``leaf_id``."""
+        leaf = self.nodes[leaf_id]
+        for cid in self.nodes[node_id].children:
+            child = self.nodes[cid]
+            if child.leaf_lo <= leaf.leaf_lo and leaf.leaf_hi <= child.leaf_hi:
+                return cid
+        raise ValueError(f"node {node_id} is not an ancestor of leaf {leaf_id}")
+
+    def leaf_border_distances(self, vertex: int) -> np.ndarray:
+        """Exact distances from ``vertex`` to its leaf's borders (O(B))."""
+        leaf = self.nodes[int(self.leaf_of[vertex])]
+        col = leaf.vertex_pos[int(vertex)]
+        return leaf.matrix.m[:, col] if hasattr(leaf.matrix, "m") else np.asarray(
+            [leaf.matrix.get(i, col) for i in range(len(leaf.borders))]
+        )
+
+    def distances_to_node_borders(
+        self,
+        source: int,
+        node_id: int,
+        cache: Dict[int, np.ndarray],
+        counters: Counters = NULL_COUNTERS,
+    ) -> np.ndarray:
+        """Exact distances from ``source`` to the borders of ``node_id``.
+
+        ``cache`` is the materialization store — per-source, shared across
+        calls so repeated queries reuse already-assembled prefixes.
+        """
+        cached = cache.get(node_id)
+        if cached is not None:
+            return cached
+        source_leaf = int(self.leaf_of[source])
+        node = self.nodes[node_id]
+        if node_id == source_leaf:
+            result = self.leaf_border_distances(source)
+        elif self.is_ancestor(node_id, source_leaf):
+            prev_id = self.child_towards(node_id, source_leaf)
+            prev = self.nodes[prev_id]
+            d_prev = self.distances_to_node_borders(
+                source, prev_id, cache, counters
+            )
+            counters.add("gtree_matrix_ops", len(d_prev) * len(node.own_border_pos))
+            result = node.matrix.minplus(
+                d_prev, prev.pos_in_parent, node.own_border_pos
+            )
+        else:
+            parent = self.nodes[node.parent]
+            if self.is_ancestor(parent.id, source_leaf):
+                prev_id = (
+                    source_leaf
+                    if parent.id == int(self.leaf_of[source])
+                    else self.child_towards(parent.id, source_leaf)
+                )
+                prev = self.nodes[prev_id]
+                d_prev = self.distances_to_node_borders(
+                    source, prev_id, cache, counters
+                )
+                rows = prev.pos_in_parent
+            else:
+                d_prev = self.distances_to_node_borders(
+                    source, parent.id, cache, counters
+                )
+                rows = parent.own_border_pos
+            counters.add("gtree_matrix_ops", len(d_prev) * len(node.pos_in_parent))
+            result = parent.matrix.minplus(d_prev, rows, node.pos_in_parent)
+        cache[node_id] = result
+        return result
+
+    def _same_leaf_sssp(self, source: int) -> Dict[int, float]:
+        """Exact distances from ``source`` to every vertex of its leaf.
+
+        Dijkstra over the leaf subgraph augmented with the exact border
+        clique, so out-and-back paths are covered.
+        """
+        leaf = self.nodes[int(self.leaf_of[source])]
+        adj = leaf.leaf_adj
+        if adj is None:
+            adj = self._leaf_local_graph(leaf, self._leaf_border_clique(leaf))
+            leaf.leaf_adj = adj
+        start = leaf.vertex_pos[int(source)]
+        n = len(adj)
+        dist = [INF] * n
+        dist[start] = 0.0
+        heap = BinaryHeap()
+        heap.push(0.0, start)
+        settled = [False] * n
+        while heap:
+            d, u = heap.pop()
+            if settled[u]:
+                continue
+            settled[u] = True
+            for v, w in adj[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heap.push(nd, v)
+        return {int(v): dist[leaf.vertex_pos[int(v)]] for v in leaf.vertices}
+
+    def _leaf_border_clique(self, leaf: GTreeNode) -> Optional[np.ndarray]:
+        if leaf.id == self.root:
+            return None
+        parent = self.nodes[leaf.parent]
+        pm = parent.matrix.m if hasattr(parent.matrix, "m") else None
+        if pm is None:
+            nb = len(leaf.pos_in_parent)
+            return np.asarray(
+                [
+                    [
+                        parent.matrix.get(int(leaf.pos_in_parent[a]), int(leaf.pos_in_parent[b]))
+                        for b in range(nb)
+                    ]
+                    for a in range(nb)
+                ]
+            )
+        return pm[np.ix_(leaf.pos_in_parent, leaf.pos_in_parent)]
+
+    def distance(
+        self,
+        source: int,
+        target: int,
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        counters: Counters = NULL_COUNTERS,
+    ) -> float:
+        """Exact network distance via assembly (optionally materialized)."""
+        if source == target:
+            return 0.0
+        if cache is None:
+            cache = {}
+        source_leaf = int(self.leaf_of[source])
+        target_leaf = int(self.leaf_of[target])
+        if source_leaf == target_leaf:
+            key = ("sssp", source)
+            sssp = cache.get(key)  # type: ignore[arg-type]
+            if sssp is None:
+                sssp = self._same_leaf_sssp(source)
+                cache[key] = sssp  # type: ignore[index]
+            return float(sssp[int(target)])
+        d_borders = self.distances_to_node_borders(
+            source, target_leaf, cache, counters
+        )
+        leaf = self.nodes[target_leaf]
+        col = leaf.vertex_pos[int(target)]
+        counters.add("gtree_matrix_ops", len(d_borders))
+        if hasattr(leaf.matrix, "m"):
+            return float((d_borders + leaf.matrix.m[:, col]).min())
+        best = INF
+        for i in range(len(d_borders)):
+            total = d_borders[i] + leaf.matrix.get(i, col)
+            if total < best:
+                best = total
+        return best
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def build_time(self) -> float:
+        return self._build_time
+
+    def size_bytes(self) -> int:
+        total = 0
+        for node in self.nodes:
+            total += node.matrix.size_bytes() if node.matrix is not None else 0
+            total += node.borders.nbytes
+            if node.child_borders is not None:
+                total += node.child_borders.nbytes
+            if node.vertices is not None:
+                total += node.vertices.nbytes
+        total += self.leaf_of.nbytes + self.leaf_index_of.nbytes
+        return total
+
+    def leaves(self) -> List[GTreeNode]:
+        return [n for n in self.nodes if n.is_leaf]
+
+    def num_levels(self) -> int:
+        return 1 + max(n.level for n in self.nodes)
+
+    def average_borders(self) -> float:
+        return float(np.mean([len(n.borders) for n in self.nodes]))
+
+
+# ----------------------------------------------------------------------
+# Occurrence List (G-tree's object index, Sections 3.5 / 7.4)
+# ----------------------------------------------------------------------
+class OccurrenceList:
+    """Which G-tree children contain objects, per node.
+
+    Built bottom-up from the object set; the kNN algorithm consults it to
+    prune empty subtrees.  Tracked separately because Section 7.4 measures
+    object-index build time and size on their own.
+    """
+
+    def __init__(self, gtree: GTree, objects: Sequence[int]) -> None:
+        start = time.perf_counter()
+        self.gtree = gtree
+        self.objects = np.sort(np.asarray(list(objects), dtype=np.int64))
+        self._object_set = set(int(o) for o in self.objects)
+        self.leaf_objects: Dict[int, List[int]] = {}
+        for o in self.objects:
+            leaf = int(gtree.leaf_of[o])
+            self.leaf_objects.setdefault(leaf, []).append(int(o))
+        # Bottom-up propagation of occupancy.
+        self.children_with_objects: Dict[int, List[int]] = {}
+        occupied: Set[int] = set(self.leaf_objects)
+        for node in sorted(gtree.nodes, key=lambda nd: -nd.level):
+            if node.is_leaf:
+                continue
+            present = [c for c in node.children if c in occupied]
+            if present:
+                self.children_with_objects[node.id] = present
+                occupied.add(node.id)
+        self._build_time = time.perf_counter() - start
+
+    def add_object(self, vertex: int) -> None:
+        """Insert one object — O(tree height), no road-index work.
+
+        This cheap maintenance is the decoupled-indexing advantage the
+        paper's Section 2.2 argues for (e.g. parking spaces freeing up).
+        """
+        vertex = int(vertex)
+        if vertex in self._object_set:
+            return
+        self._object_set.add(vertex)
+        self.objects = np.sort(np.append(self.objects, vertex))
+        leaf = int(self.gtree.leaf_of[vertex])
+        bucket = self.leaf_objects.setdefault(leaf, [])
+        bucket.append(vertex)
+        bucket.sort()
+        node_id = leaf
+        while True:
+            parent = self.gtree.nodes[node_id].parent
+            if parent < 0:
+                break
+            siblings = self.children_with_objects.setdefault(parent, [])
+            if node_id in siblings:
+                break
+            siblings.append(node_id)
+            node_id = parent
+
+    def remove_object(self, vertex: int) -> None:
+        """Remove one object, pruning emptied ancestors bottom-up."""
+        vertex = int(vertex)
+        if vertex not in self._object_set:
+            return
+        self._object_set.discard(vertex)
+        self.objects = self.objects[self.objects != vertex]
+        leaf = int(self.gtree.leaf_of[vertex])
+        bucket = self.leaf_objects.get(leaf, [])
+        if vertex in bucket:
+            bucket.remove(vertex)
+        node_id = leaf
+        while not self.has_objects(node_id):
+            if node_id in self.leaf_objects:
+                del self.leaf_objects[node_id]
+            parent = self.gtree.nodes[node_id].parent
+            if parent < 0:
+                break
+            siblings = self.children_with_objects.get(parent, [])
+            if node_id in siblings:
+                siblings.remove(node_id)
+            if siblings:
+                break
+            if parent in self.children_with_objects:
+                del self.children_with_objects[parent]
+            node_id = parent
+
+    def has_objects(self, node_id: int) -> bool:
+        return bool(self.leaf_objects.get(node_id)) or bool(
+            self.children_with_objects.get(node_id)
+        )
+
+    def children(self, node_id: int) -> List[int]:
+        return self.children_with_objects.get(node_id, [])
+
+    def objects_in_leaf(self, leaf_id: int) -> List[int]:
+        return self.leaf_objects.get(leaf_id, [])
+
+    def is_object(self, vertex: int) -> bool:
+        return int(vertex) in self._object_set
+
+    def build_time(self) -> float:
+        return self._build_time
+
+    def size_bytes(self) -> int:
+        total = self.objects.nbytes
+        total += sum(8 * len(v) + 16 for v in self.leaf_objects.values())
+        total += sum(8 * len(v) + 16 for v in self.children_with_objects.values())
+        return total
+
+
+# ----------------------------------------------------------------------
+# MGtree distance oracle (Section 5)
+# ----------------------------------------------------------------------
+class GTreeOracle:
+    """G-tree as a point-to-point oracle with cross-query materialization.
+
+    IER issues many distance queries from the *same* source; the oracle
+    keeps the per-source materialization cache across calls (reset when
+    the source changes), which is what makes "IER-Gt" competitive.
+    """
+
+    name = "mgtree"
+
+    def __init__(self, gtree: GTree, counters: Counters = NULL_COUNTERS) -> None:
+        self.gtree = gtree
+        self.counters = counters
+        self._source: Optional[int] = None
+        self._cache: Dict = {}
+
+    def begin_source(self, source: int) -> None:
+        if self._source != source:
+            self._source = source
+            self._cache = {}
+
+    def distance(self, source: int, target: int) -> float:
+        self.begin_source(source)
+        return self.gtree.distance(
+            source, target, cache=self._cache, counters=self.counters
+        )
+
+    def build_time(self) -> float:
+        return self.gtree.build_time()
+
+    def size_bytes(self) -> int:
+        return self.gtree.size_bytes()

@@ -1,0 +1,420 @@
+"""ROAD: Route Overlay and Association Directory (Lee et al., TKDE 2012).
+
+ROAD recursively partitions the road network into a hierarchy of *Rnets*
+(Section 3.4).  For each Rnet it precomputes *shortcuts* — within-Rnet
+shortest distances between every pair of the Rnet's borders — so that a
+kNN expansion reaching a border of an object-free Rnet can bypass its
+interior entirely.  The *Route Overlay* stores, per vertex, the Rnets the
+vertex borders (with its shortcut rows); the *Association Directory* is
+the decoupled object index telling the search which Rnets contain objects.
+
+Shortcuts are computed bottom-up like the paper: leaf Rnets run Dijkstra
+restricted to their subgraph, higher levels run over a minigraph of child
+borders (child shortcut cliques + cross edges).  Within-Rnet distances are
+the correct semantics here: any shortest path crossing an Rnet decomposes
+at its borders, and segments outside the Rnet are explored by the normal
+expansion (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.graph.graph import Graph
+from repro.graph.partition import recursive_partition
+
+INF = float("inf")
+
+
+class RnetNode:
+    """One Rnet in the hierarchy."""
+
+    __slots__ = (
+        "id",
+        "parent",
+        "children",
+        "level",
+        "leaf_lo",
+        "leaf_hi",
+        "vertices",
+        "borders",
+        "border_pos",
+        "shortcut_matrix",
+        "interior_size",
+    )
+
+    def __init__(self, node_id: int, parent: int, level: int) -> None:
+        self.id = node_id
+        self.parent = parent
+        self.children: List[int] = []
+        self.level = level
+        self.leaf_lo = 0
+        self.leaf_hi = 0
+        self.vertices: Optional[np.ndarray] = None  # leaf Rnets only
+        self.borders: np.ndarray = np.empty(0, dtype=np.int64)
+        self.border_pos: Dict[int, int] = {}
+        self.shortcut_matrix: Optional[np.ndarray] = None
+        self.interior_size = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RoadIndex:
+    """The ROAD road-network index (Route Overlay + shortcut hierarchy).
+
+    Parameters
+    ----------
+    graph:
+        Road network.
+    fanout:
+        Partition fanout f (paper default 4).
+    levels:
+        Hierarchy depth l.  The paper increases l with network size (7 for
+        DE up to 11 for US); the default scales as ``log_f(V / 50)``.
+    """
+
+    name = "road"
+
+    def __init__(
+        self,
+        graph: Graph,
+        fanout: int = 4,
+        levels: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.fanout = fanout
+        if levels is None:
+            levels = max(2, round(math.log(max(graph.num_vertices / 50, 4), fanout)))
+        self.levels = levels
+        start = time.perf_counter()
+        self._build(seed)
+        self._build_time = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, seed: int) -> None:
+        graph = self.graph
+        hierarchy = recursive_partition(
+            graph, fanout=self.fanout, max_levels=self.levels, seed=seed
+        )
+        self.rnets: List[RnetNode] = []
+
+        def add(pnode, parent_id: int, level: int) -> int:
+            node = RnetNode(len(self.rnets), parent_id, level)
+            self.rnets.append(node)
+            for child in pnode.children:
+                cid = add(child, node.id, level + 1)
+                node.children.append(cid)
+            if not pnode.children:
+                node.vertices = np.sort(np.asarray(pnode.vertices, dtype=np.int64))
+            return node.id
+
+        add(hierarchy, -1, 0)
+        self.root = 0
+
+        n = graph.num_vertices
+        self.leaf_of = np.full(n, -1, dtype=np.int64)
+        self.leaf_index_of = np.full(n, -1, dtype=np.int64)
+        counter = [0]
+
+        def assign(node: RnetNode) -> None:
+            node.leaf_lo = counter[0]
+            if node.is_leaf:
+                self.leaf_of[node.vertices] = node.id
+                self.leaf_index_of[node.vertices] = counter[0]
+                counter[0] += 1
+            else:
+                for cid in node.children:
+                    assign(self.rnets[cid])
+            node.leaf_hi = counter[0]
+
+        assign(self.rnets[self.root])
+
+        # Borders per Rnet via the neighbour leaf-interval trick.
+        nmin = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        nmax = np.full(n, -1, dtype=np.int64)
+        for u in range(n):
+            targets, _ = graph.neighbor_slice(u)
+            if len(targets):
+                li = self.leaf_index_of[targets]
+                nmin[u] = li.min()
+                nmax[u] = li.max()
+        for node in self.rnets:
+            verts = self._rnet_vertices(node)
+            mask = (nmin[verts] < node.leaf_lo) | (nmax[verts] >= node.leaf_hi)
+            node.borders = verts[mask]
+            node.border_pos = {int(b): i for i, b in enumerate(node.borders)}
+            node.interior_size = len(verts) - len(node.borders)
+
+        self._build_shortcuts()
+
+        # Route Overlay: for each vertex, the chain of Rnets it borders,
+        # ordered shallowest (highest level in paper terms) first.  The
+        # chain is contiguous down to the leaf Rnet by construction.
+        self.route_overlay: List[List[int]] = [[] for _ in range(n)]
+        by_depth = sorted(self.rnets, key=lambda nd: nd.level)
+        for node in by_depth:
+            if node.id == self.root:
+                continue  # the root has no borders and cannot be bypassed
+            for b in node.borders:
+                self.route_overlay[int(b)].append(node.id)
+
+        # Flat query-time structures.  The paper stores all shortcuts in
+        # one global array with per-tree offsets (Section 6.2); CPython's
+        # equivalent of that flat layout is plain lists, which avoid the
+        # per-element boxing cost of numpy scalar indexing on the search
+        # hot path.
+        self._leaf_index_list: List[int] = self.leaf_index_of.tolist()
+        self._vs = graph.vertex_start.tolist()
+        self._et = graph.edge_target.tolist()
+        self._ew = graph.edge_weight.tolist()
+        self._shortcut_lists: List[List[List[Tuple[int, float]]]] = []
+        for node in self.rnets:
+            rows: List[List[Tuple[int, float]]] = []
+            if node.shortcut_matrix is not None and len(node.borders):
+                borders = [int(b) for b in node.borders]
+                for i in range(len(borders)):
+                    row = []
+                    for j, w in enumerate(node.shortcut_matrix[i]):
+                        if j != i and np.isfinite(w):
+                            row.append((borders[j], float(w)))
+                    rows.append(row)
+            self._shortcut_lists.append(rows)
+
+    def _rnet_vertices(self, node: RnetNode) -> np.ndarray:
+        if node.is_leaf:
+            return node.vertices
+        parts = [self._rnet_vertices(self.rnets[c]) for c in node.children]
+        return np.concatenate(parts)
+
+    @staticmethod
+    def _multi_dijkstra(
+        adj: List[List[Tuple[int, float]]], sources: Sequence[int]
+    ) -> np.ndarray:
+        """Dijkstra over a local adjacency; parallel edges collapse to min
+        (scipy's COO constructor would otherwise sum duplicates)."""
+        n = len(adj)
+        if n == 0 or not sources:
+            return np.empty((len(sources), n))
+        best: Dict[Tuple[int, int], float] = {}
+        for u, lst in enumerate(adj):
+            for v, w in lst:
+                key = (u, v)
+                prev = best.get(key)
+                if prev is None or w < prev:
+                    best[key] = w
+        rows = np.fromiter((k[0] for k in best), dtype=np.int64, count=len(best))
+        cols = np.fromiter((k[1] for k in best), dtype=np.int64, count=len(best))
+        data = np.fromiter(best.values(), dtype=np.float64, count=len(best))
+        m = csr_matrix((data, (rows, cols)), shape=(n, n))
+        return _csgraph_dijkstra(m, directed=True, indices=list(sources))
+
+    def _build_shortcuts(self) -> None:
+        """Bottom-up within-Rnet border-to-border distances."""
+        graph = self.graph
+        post_order: List[RnetNode] = []
+
+        def visit(node: RnetNode) -> None:
+            for cid in node.children:
+                visit(self.rnets[cid])
+            post_order.append(node)
+
+        visit(self.rnets[self.root])
+
+        child_bb: Dict[int, np.ndarray] = {}
+        for node in post_order:
+            if node.is_leaf:
+                verts = node.vertices
+                pos = {int(v): i for i, v in enumerate(verts)}
+                adj: List[List[Tuple[int, float]]] = [[] for _ in verts]
+                for v in verts:
+                    i = pos[int(v)]
+                    targets, weights = graph.neighbor_slice(int(v))
+                    for t, w in zip(targets, weights):
+                        j = pos.get(int(t))
+                        if j is not None:
+                            adj[i].append((j, float(w)))
+                sources = [pos[int(b)] for b in node.borders]
+                node.shortcut_matrix = self._multi_dijkstra(adj, sources)[
+                    :, [pos[int(b)] for b in node.borders]
+                ] if len(node.borders) else np.empty((0, 0))
+            else:
+                # Minigraph over child borders.
+                groups: List[np.ndarray] = []
+                for cid in node.children:
+                    groups.append(self.rnets[cid].borders)
+                cb = (
+                    np.concatenate(groups)
+                    if groups
+                    else np.empty(0, dtype=np.int64)
+                )
+                # A vertex can border several sibling children only via
+                # distinct ids?  No: children partition vertices, so each
+                # border belongs to exactly one child.
+                pos_of = {int(v): i for i, v in enumerate(cb)}
+                adj = [[] for _ in cb]
+                offset = 0
+                for cid in node.children:
+                    child = self.rnets[cid]
+                    bb = child.shortcut_matrix
+                    nb = len(child.borders)
+                    for a in range(nb):
+                        for b2 in range(nb):
+                            if a != b2 and np.isfinite(bb[a, b2]):
+                                adj[offset + a].append(
+                                    (offset + b2, float(bb[a, b2]))
+                                )
+                    offset += nb
+                for i, u in enumerate(cb):
+                    targets, weights = graph.neighbor_slice(int(u))
+                    for t, w in zip(targets, weights):
+                        j = pos_of.get(int(t))
+                        if j is None:
+                            continue
+                        if self._child_of(node, int(u)) != self._child_of(
+                            node, int(t)
+                        ):
+                            adj[i].append((j, float(w)))
+                if len(node.borders):
+                    sources = [pos_of[int(b)] for b in node.borders]
+                    full = self._multi_dijkstra(adj, sources)
+                    node.shortcut_matrix = full[:, sources]
+                else:
+                    node.shortcut_matrix = np.empty((0, 0))
+
+    def _child_of(self, node: RnetNode, vertex: int) -> int:
+        li = int(self.leaf_index_of[vertex])
+        for cid in node.children:
+            child = self.rnets[cid]
+            if child.leaf_lo <= li < child.leaf_hi:
+                return cid
+        return -1
+
+    # ------------------------------------------------------------------
+    # Search support
+    # ------------------------------------------------------------------
+    def in_rnet(self, rnet_id: int, vertex: int) -> bool:
+        node = self.rnets[rnet_id]
+        li = int(self.leaf_index_of[vertex])
+        return node.leaf_lo <= li < node.leaf_hi
+
+    def shortcut_row(self, rnet_id: int, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(border vertices, shortcut distances) from ``vertex`` in an Rnet."""
+        node = self.rnets[rnet_id]
+        row = node.border_pos[int(vertex)]
+        return node.borders, node.shortcut_matrix[row]
+
+    def shortcut_list(self, rnet_id: int, vertex: int) -> List[Tuple[int, float]]:
+        """Finite shortcuts from ``vertex`` as a flat (border, w) list."""
+        node = self.rnets[rnet_id]
+        return self._shortcut_lists[rnet_id][node.border_pos[int(vertex)]]
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def build_time(self) -> float:
+        return self._build_time
+
+    def size_bytes(self) -> int:
+        total = self.leaf_of.nbytes + self.leaf_index_of.nbytes
+        for node in self.rnets:
+            if node.shortcut_matrix is not None:
+                total += int(node.shortcut_matrix.nbytes)
+            total += node.borders.nbytes
+            if node.vertices is not None:
+                total += node.vertices.nbytes
+        # Route Overlay entries: (rnet id, row offset) per bordered Rnet.
+        total += sum(12 * len(chain) for chain in self.route_overlay)
+        return total
+
+    def num_rnets(self) -> int:
+        return len(self.rnets) - 1  # root excluded
+
+    def average_borders(self) -> float:
+        return float(
+            np.mean([len(nd.borders) for nd in self.rnets if nd.id != self.root])
+        )
+
+
+class AssociationDirectory:
+    """ROAD's decoupled object index (Sections 3.4 / 7.4).
+
+    A bit per Rnet ("contains an object?") propagated bottom-up, plus a
+    byte-array of per-vertex object flags — the paper highlights that this
+    is cheaper to store than G-tree's Occurrence List because it need not
+    record *which* children contain objects.
+    """
+
+    def __init__(self, road: RoadIndex, objects: Sequence[int]) -> None:
+        start = time.perf_counter()
+        self.road = road
+        self.objects = np.sort(np.asarray(list(objects), dtype=np.int64))
+        n = road.graph.num_vertices
+        self._vertex_flag = bytearray(n)
+        # Per-Rnet object *counts* rather than flags, so removals can
+        # clear occupancy without a rescan (cheap updates are the point
+        # of decoupled indexing, Section 2.2).
+        self._rnet_count = [0] * len(road.rnets)
+        for o in self.objects:
+            self._add_to_hierarchy(int(o))
+        self._build_time = time.perf_counter() - start
+
+    def _add_to_hierarchy(self, vertex: int) -> None:
+        if self._vertex_flag[vertex]:
+            return
+        self._vertex_flag[vertex] = 1
+        node = self.road.rnets[int(self.road.leaf_of[vertex])]
+        while True:
+            self._rnet_count[node.id] += 1
+            if node.parent < 0:
+                break
+            node = self.road.rnets[node.parent]
+
+    def add_object(self, vertex: int) -> None:
+        """Insert one object — O(hierarchy depth)."""
+        vertex = int(vertex)
+        if not self._vertex_flag[vertex]:
+            self._add_to_hierarchy(vertex)
+            self.objects = np.sort(np.append(self.objects, vertex))
+
+    def remove_object(self, vertex: int) -> None:
+        """Remove one object — O(hierarchy depth)."""
+        vertex = int(vertex)
+        if not self._vertex_flag[vertex]:
+            return
+        self._vertex_flag[vertex] = 0
+        self.objects = self.objects[self.objects != vertex]
+        node = self.road.rnets[int(self.road.leaf_of[vertex])]
+        while True:
+            self._rnet_count[node.id] -= 1
+            if node.parent < 0:
+                break
+            node = self.road.rnets[node.parent]
+
+    def is_object(self, vertex: int) -> bool:
+        return bool(self._vertex_flag[vertex])
+
+    def rnet_has_object(self, rnet_id: int) -> bool:
+        return self._rnet_count[rnet_id] > 0
+
+    def build_time(self) -> float:
+        return self._build_time
+
+    def size_bytes(self) -> int:
+        # Vertex flags as a bit-array; per-Rnet occupancy counts as
+        # uint16 (the updatable generalisation of the paper's bit-array).
+        return (
+            len(self._vertex_flag) // 8
+            + 2 * len(self._rnet_count)
+            + self.objects.nbytes
+        )

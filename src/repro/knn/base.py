@@ -1,0 +1,45 @@
+"""Shared kNN plumbing: the algorithm interface and result checking."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+KNNResult = List[Tuple[float, int]]
+
+
+class KNNAlgorithm:
+    """Interface every kNN method implements.
+
+    Subclasses hold their (road-network and object) indexes and answer
+    :meth:`knn` queries.  ``name`` identifies the method in experiment
+    output.
+    """
+
+    name = "knn"
+
+    def knn(self, query: int, k: int) -> KNNResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _finalise(results: Sequence[Tuple[float, int]], k: int) -> KNNResult:
+        """Sort by (distance, vertex) and truncate to k."""
+        return sorted(results, key=lambda r: (r[0], r[1]))[:k]
+
+
+def verify_knn_result(
+    result: KNNResult,
+    expected: KNNResult,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Compare two kNN results by their distance sequences.
+
+    Vertex ids may legitimately differ under distance ties, so only the
+    sorted distances are compared (within a relative tolerance).
+    """
+    if len(result) != len(expected):
+        return False
+    for (da, _), (db, _) in zip(result, expected):
+        scale = max(abs(da), abs(db), 1.0)
+        if abs(da - db) > rel_tol * scale:
+            return False
+    return True

@@ -1,0 +1,113 @@
+"""Shortest-path materialisation for kNN results.
+
+The studied kNN algorithms return network *distances*; a map service also
+needs the route.  This module attaches vertex paths to kNN results:
+
+* :func:`knn_with_paths` — run any kNN method, then materialise one
+  shortest path per result with a single multi-target Dijkstra from the
+  query (one search regardless of k);
+* :func:`silc_paths_for_results` — when a SILC index exists, extract the
+  paths from its first-hop oracle instead (O(m log |V|) per path, no
+  graph search — the use case SILC was designed for).
+
+Both verify that the materialised path length matches the distance the
+kNN method reported, making them a useful end-to-end consistency check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.index.silc import SILCIndex
+from repro.knn.base import KNNAlgorithm, KNNResult
+from repro.utils.bitset import BitArray
+from repro.utils.pqueue import BinaryHeap
+
+INF = float("inf")
+
+PathResult = List[Tuple[float, int, List[int]]]
+
+
+def _paths_to_targets(
+    graph: Graph, source: int, targets: Sequence[int]
+) -> dict:
+    """One Dijkstra materialising parent pointers for all ``targets``."""
+    remaining = set(int(t) for t in targets)
+    n = graph.num_vertices
+    dist = np.full(n, INF)
+    parent = np.full(n, -1, dtype=np.int64)
+    settled = BitArray(n)
+    heap = BinaryHeap()
+    dist[source] = 0.0
+    heap.push(0.0, source)
+    out = {}
+    while heap and remaining:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        settled.set(u)
+        if u in remaining:
+            path = [u]
+            while path[-1] != source:
+                path.append(int(parent[path[-1]]))
+            path.reverse()
+            out[u] = (d, path)
+            remaining.discard(u)
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heap.push(nd, v)
+    return out
+
+
+def knn_with_paths(
+    graph: Graph,
+    algorithm: KNNAlgorithm,
+    query: int,
+    k: int,
+    rel_tol: float = 1e-9,
+) -> PathResult:
+    """kNN results of ``algorithm`` with one shortest path per object.
+
+    Raises ``ValueError`` if a materialised path length disagrees with
+    the distance the algorithm reported — an end-to-end exactness check.
+    """
+    results = algorithm.knn(query, k)
+    paths = _paths_to_targets(graph, query, [obj for _, obj in results])
+    out: PathResult = []
+    for distance, obj in results:
+        path_distance, path = paths[obj]
+        scale = max(abs(distance), 1.0)
+        if abs(path_distance - distance) > rel_tol * scale:
+            raise ValueError(
+                f"path length {path_distance} disagrees with reported "
+                f"distance {distance} for object {obj}"
+            )
+        out.append((distance, obj, path))
+    return out
+
+
+def silc_paths_for_results(
+    silc: SILCIndex,
+    query: int,
+    results: KNNResult,
+    use_chains: bool = True,
+    rel_tol: float = 1e-9,
+) -> PathResult:
+    """Attach SILC-oracle paths to existing kNN results (no graph search)."""
+    out: PathResult = []
+    for distance, obj in results:
+        path_distance, path = silc.path(query, obj, use_chains=use_chains)
+        scale = max(abs(distance), 1.0)
+        if abs(path_distance - distance) > rel_tol * scale:
+            raise ValueError(
+                f"SILC path length {path_distance} disagrees with reported "
+                f"distance {distance} for object {obj}"
+            )
+        out.append((distance, obj, path))
+    return out

@@ -1,0 +1,119 @@
+"""ROAD kNN search (Algorithms 5 and 6).
+
+An INE-style expansion that, on settling a vertex, consults the Route
+Overlay for the highest-level object-free Rnet the vertex borders and
+bypasses it: the Rnet's shortcuts are relaxed instead of its interior
+edges, plus the vertex's raw edges that leave the Rnet.  When every Rnet
+the vertex borders contains objects (or it borders none) the raw edges
+are relaxed exactly as in INE.
+
+Includes the paper's minor improvement (Appendix A.3): shortcuts leading
+to already-visited borders are not re-inserted into the queue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.index.road import AssociationDirectory, RoadIndex
+from repro.knn.base import KNNAlgorithm, KNNResult
+from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.pqueue import BinaryHeap
+
+INF = float("inf")
+
+
+class RoadKNN(KNNAlgorithm):
+    """kNN driver over a :class:`RoadIndex` and Association Directory."""
+
+    name = "road"
+
+    def __init__(
+        self,
+        road: RoadIndex,
+        objects: Optional[Sequence[int]] = None,
+        directory: Optional[AssociationDirectory] = None,
+        skip_visited_borders: bool = True,
+    ) -> None:
+        if directory is None:
+            if objects is None:
+                raise ValueError("provide objects or an association directory")
+            directory = AssociationDirectory(road, objects)
+        self.road = road
+        self.ad = directory
+        self.skip_visited_borders = skip_visited_borders
+
+    def knn(
+        self, query: int, k: int, counters: Counters = NULL_COUNTERS
+    ) -> KNNResult:
+        road = self.road
+        ad = self.ad
+        n = road.graph.num_vertices
+        dist = [INF] * n
+        visited = bytearray(n)
+        heap = BinaryHeap()
+        dist[query] = 0.0
+        heap.push(0.0, query)
+        results: List[Tuple[float, int]] = []
+        route_overlay = road.route_overlay
+        leaf_index = road._leaf_index_list
+        rnets = road.rnets
+        shortcut_lists = road._shortcut_lists
+        vs, et, ew = road._vs, road._et, road._ew
+        skip_visited = self.skip_visited_borders
+        count = counters.enabled
+        rnet_has_object = ad.rnet_has_object
+        is_object = ad.is_object
+
+        while heap and len(results) < k:
+            d, u = heap.pop()
+            if visited[u]:
+                continue
+            visited[u] = 1
+            if count:
+                counters.add("road_settled")
+            if is_object(u):
+                results.append((d, u))
+                if len(results) == k:
+                    break
+            # Highest-level object-free Rnet that u borders.
+            bypass = -1
+            for rnet_id in route_overlay[u]:
+                if not rnet_has_object(rnet_id):
+                    bypass = rnet_id
+                    break
+            if bypass >= 0:
+                node = rnets[bypass]
+                if count:
+                    counters.add("road_bypassed", node.interior_size)
+                row = shortcut_lists[bypass][node.border_pos[u]]
+                for b, w in row:
+                    if skip_visited and visited[b]:
+                        continue
+                    nd = d + w
+                    if nd < dist[b]:
+                        dist[b] = nd
+                        heap.push(nd, b)
+                # Raw edges leaving the bypassed Rnet.
+                lo, hi = node.leaf_lo, node.leaf_hi
+                for i in range(vs[u], vs[u + 1]):
+                    v = et[i]
+                    li = leaf_index[v]
+                    if lo <= li < hi:
+                        continue  # interior edge: subsumed by shortcuts
+                    if skip_visited and visited[v]:
+                        continue
+                    nd = d + ew[i]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        heap.push(nd, v)
+            else:
+                for i in range(vs[u], vs[u + 1]):
+                    v = et[i]
+                    if skip_visited and visited[v]:
+                        continue
+                    nd = d + ew[i]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        heap.push(nd, v)
+        return self._finalise(results, k)

@@ -1,0 +1,93 @@
+"""Bulk shortest-path preprocessing helpers (scipy-backed).
+
+Index construction for SILC, G-tree and ROAD needs many single-source
+computations over the *original* graph.  The paper parallelises SILC's
+all-pairs step with OpenMP; our equivalent lever is
+``scipy.sparse.csgraph.dijkstra`` (C implementation).  These helpers are
+used only at build time — query algorithms remain pure Python so their
+behaviour stays observable and instrumentable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.graph.graph import Graph
+
+
+def bulk_sssp(
+    graph: Graph, sources: Sequence[int], return_predecessors: bool = False
+):
+    """Distances (and optionally predecessors) from each of ``sources``.
+
+    Returns ``dist`` of shape (len(sources), V), plus ``pred`` of the same
+    shape when requested (scipy convention: -9999 for unreachable/self).
+    """
+    matrix = graph.to_csr_matrix()
+    indices = np.asarray(sources, dtype=np.int64)
+    if return_predecessors:
+        dist, pred = _csgraph_dijkstra(
+            matrix, directed=False, indices=indices, return_predecessors=True
+        )
+        return dist, pred
+    return _csgraph_dijkstra(matrix, directed=False, indices=indices)
+
+
+def bulk_distance_matrix(graph: Graph, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+    """Dense ``len(sources) x len(targets)`` network-distance matrix."""
+    dist = bulk_sssp(graph, sources)
+    return dist[:, np.asarray(targets, dtype=np.int64)]
+
+
+def first_hops(graph: Graph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """First hop on a shortest path from ``source`` to every vertex.
+
+    Returns ``(dist, hop)`` where ``hop[t]`` is the neighbor of ``source``
+    that a shortest path to ``t`` leaves through (``hop[source] = source``;
+    unreachable vertices get -1).  This is SILC's "colouring": every vertex
+    is coloured by its first hop (Section 3.3).
+
+    Implemented by propagating along the scipy predecessor tree in order of
+    increasing distance — O(V log V) per source instead of a Python walk
+    per target.
+    """
+    dist, pred = bulk_sssp(graph, [source], return_predecessors=True)
+    dist = dist[0]
+    pred = pred[0]
+    n = graph.num_vertices
+    hop = np.full(n, -1, dtype=np.int64)
+    hop[source] = source
+    order = np.argsort(dist)
+    for t in order:
+        t = int(t)
+        if t == source or not np.isfinite(dist[t]):
+            continue
+        p = int(pred[t])
+        if p == source:
+            hop[t] = t
+        elif p >= 0:
+            hop[t] = hop[p]
+    return dist, hop
+
+
+def eccentric_vertex(graph: Graph, source: int) -> Tuple[int, float]:
+    """The vertex with maximum network distance from ``source``.
+
+    Used by the minimum-object-distance workload generator (Section 4.2)
+    to find ``v_f`` and ``D_max``.
+    """
+    dist = bulk_sssp(graph, [source])[0]
+    finite = np.where(np.isfinite(dist), dist, -1.0)
+    far = int(np.argmax(finite))
+    return far, float(finite[far])
+
+
+def network_center(graph: Graph) -> int:
+    """Vertex nearest the Euclidean centre of the network (Section 4.2)."""
+    cx = float(np.mean(graph.x))
+    cy = float(np.mean(graph.y))
+    d2 = (graph.x - cx) ** 2 + (graph.y - cy) ** 2
+    return int(np.argmin(d2))

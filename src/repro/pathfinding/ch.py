@@ -1,0 +1,265 @@
+"""Contraction Hierarchies (Geisberger et al., WEA 2008).
+
+One of the fast oracles IER is combined with in Section 5 ("CH"), and the
+local-query fallback inside Transit Node Routing.  Standard construction:
+
+* node ordering by *edge difference* + *deleted neighbours*, maintained
+  lazily (re-evaluate the top of the priority queue before contracting);
+* *witness searches* (budgeted Dijkstra that ignores the contracted node)
+  decide which shortcuts are necessary;
+* queries run a bidirectional Dijkstra over the upward graph; the answer
+  is the best meeting vertex.
+
+The hierarchy also exposes :meth:`upward_search`, used by TNR to find
+access nodes, and a search variant pruned at a vertex set (TNR's exact
+locality fallback).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.pqueue import BinaryHeap
+
+INF = float("inf")
+
+
+class ContractionHierarchy:
+    """CH index over a road network.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    witness_settle_limit:
+        Budget (settled vertices) for each witness search; smaller budgets
+        build faster but insert more (harmless) shortcuts.
+    """
+
+    name = "ch"
+
+    def __init__(self, graph: Graph, witness_settle_limit: int = 40) -> None:
+        self.graph = graph
+        self.witness_settle_limit = witness_settle_limit
+        start = time.perf_counter()
+        self._build()
+        self._build_time = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        n = self.graph.num_vertices
+        # Overlay adjacency, mutated during contraction.
+        overlay: List[Dict[int, float]] = [dict() for _ in range(n)]
+        for u in range(n):
+            for v, w in self.graph.neighbors(u):
+                prev = overlay[u].get(v)
+                if prev is None or w < prev:
+                    overlay[u][v] = w
+
+        self.rank = np.full(n, -1, dtype=np.int64)
+        deleted_neighbors = np.zeros(n, dtype=np.int64)
+        contracted = np.zeros(n, dtype=bool)
+        shortcuts: List[Tuple[int, int, float]] = []
+
+        def simulate(v: int) -> Tuple[int, List[Tuple[int, int, float]]]:
+            """Shortcuts needed if v were contracted now, and their count."""
+            neighbors = [(u, w) for u, w in overlay[v].items() if not contracted[u]]
+            needed: List[Tuple[int, int, float]] = []
+            for i in range(len(neighbors)):
+                u, wu = neighbors[i]
+                # Witness search from u avoiding v, bounded by the longest
+                # candidate shortcut through v.
+                limit = max(wu + wv for _, wv in neighbors[i + 1 :]) if i + 1 < len(neighbors) else 0.0
+                witness = self._witness_distances(overlay, contracted, u, v, limit)
+                for j in range(i + 1, len(neighbors)):
+                    w2, wv = neighbors[j]
+                    through = wu + wv
+                    if witness.get(w2, INF) > through:
+                        needed.append((u, w2, through))
+            return len(needed) - len(neighbors), needed
+
+        heap = BinaryHeap()
+        for v in range(n):
+            ed, _ = simulate(v)
+            heap.push(float(ed), v)
+
+        next_rank = 0
+        while heap:
+            _, v = heap.pop()
+            if contracted[v]:
+                continue
+            # Lazy re-evaluation: if v's priority got stale, re-push.
+            ed, needed = simulate(v)
+            priority = float(ed + deleted_neighbors[v])
+            if heap and priority > heap.peek_key():
+                heap.push(priority, v)
+                continue
+            # Contract v.
+            contracted[v] = True
+            self.rank[v] = next_rank
+            next_rank += 1
+            for u, w2, through in needed:
+                prev = overlay[u].get(w2)
+                if prev is None or through < prev:
+                    overlay[u][w2] = through
+                    overlay[w2][u] = through
+                    shortcuts.append((u, w2, through))
+            for u in overlay[v]:
+                if not contracted[u]:
+                    deleted_neighbors[u] += 1
+
+        # Upward graph: original edges + shortcuts towards higher rank.
+        up: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        seen_edge: Dict[Tuple[int, int], float] = {}
+        for u in range(n):
+            for v, w in self.graph.neighbors(u):
+                key = (u, v)
+                prev = seen_edge.get(key)
+                if prev is None or w < prev:
+                    seen_edge[key] = w
+        for u, v, w in shortcuts:
+            for a, b in ((u, v), (v, u)):
+                key = (a, b)
+                prev = seen_edge.get(key)
+                if prev is None or w < prev:
+                    seen_edge[key] = w
+        for (u, v), w in seen_edge.items():
+            if self.rank[v] > self.rank[u]:
+                up[u].append((v, w))
+        self.up = up
+        self.num_shortcuts = len(shortcuts)
+
+    def _witness_distances(
+        self,
+        overlay: List[Dict[int, float]],
+        contracted: np.ndarray,
+        source: int,
+        avoid: int,
+        limit: float,
+    ) -> Dict[int, float]:
+        """Budgeted Dijkstra from ``source`` avoiding ``avoid``."""
+        dist: Dict[int, float] = {source: 0.0}
+        settled: Set[int] = set()
+        heap = BinaryHeap()
+        heap.push(0.0, source)
+        budget = self.witness_settle_limit
+        while heap and budget > 0:
+            d, u = heap.pop()
+            if u in settled:
+                continue
+            if d > limit:
+                break
+            settled.add(u)
+            budget -= 1
+            for v, w in overlay[u].items():
+                if v == avoid or contracted[v]:
+                    continue
+                nd = d + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heap.push(nd, v)
+        return dist
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(
+        self, source: int, target: int, counters: Counters = NULL_COUNTERS
+    ) -> float:
+        """Exact network distance via bidirectional upward search."""
+        if source == target:
+            return 0.0
+        fwd = self._upward_sssp(source, counters)
+        bwd = self._upward_sssp(target, counters)
+        best = INF
+        small, large = (fwd, bwd) if len(fwd) <= len(bwd) else (bwd, fwd)
+        for v, d1 in small.items():
+            d2 = large.get(v)
+            if d2 is not None and d1 + d2 < best:
+                best = d1 + d2
+        return best
+
+    def _upward_sssp(
+        self,
+        source: int,
+        counters: Counters = NULL_COUNTERS,
+        prune_at: Optional[Set[int]] = None,
+        collect_pruned: Optional[Dict[int, float]] = None,
+    ) -> Dict[int, float]:
+        """Dijkstra over the upward graph.
+
+        When ``prune_at`` is given, edges out of those vertices are not
+        relaxed; settled pruned vertices are reported in
+        ``collect_pruned`` (TNR access-node search).
+        """
+        dist: Dict[int, float] = {source: 0.0}
+        settled: Set[int] = set()
+        heap = BinaryHeap()
+        heap.push(0.0, source)
+        up = self.up
+        while heap:
+            d, u = heap.pop()
+            if u in settled:
+                continue
+            settled.add(u)
+            counters.add("ch_settled")
+            if prune_at is not None and u in prune_at and u != source:
+                if collect_pruned is not None:
+                    collect_pruned[u] = d
+                continue
+            for v, w in up[u]:
+                nd = d + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heap.push(nd, v)
+        return {u: dist[u] for u in settled}
+
+    def upward_search(
+        self, source: int, prune_at: Set[int]
+    ) -> Tuple[Dict[int, float], Dict[int, float]]:
+        """Upward search pruned at ``prune_at``.
+
+        Returns ``(settled_distances, pruned_hits)`` where ``pruned_hits``
+        maps each pruning vertex reached to its distance — TNR's access
+        nodes and the basis of its exact locality fallback.
+        """
+        pruned: Dict[int, float] = {}
+        settled = self._upward_sssp(source, prune_at=prune_at, collect_pruned=pruned)
+        return settled, pruned
+
+    def distance_pruned(self, source: int, target: int, prune_at: Set[int]) -> float:
+        """Bidirectional upward distance where searches stop at ``prune_at``.
+
+        Exactly the distance of the best s-t path whose CH up-down
+        representation avoids relaxing beyond ``prune_at`` vertices; used
+        by TNR as the local-path component.
+        """
+        if source == target:
+            return 0.0
+        fwd = self._upward_sssp(source, prune_at=prune_at)
+        bwd = self._upward_sssp(target, prune_at=prune_at)
+        best = INF
+        small, large = (fwd, bwd) if len(fwd) <= len(bwd) else (bwd, fwd)
+        for v, d1 in small.items():
+            d2 = large.get(v)
+            if d2 is not None and d1 + d2 < best:
+                best = d1 + d2
+        return best
+
+    # ------------------------------------------------------------------
+    # Oracle protocol / bookkeeping
+    # ------------------------------------------------------------------
+    def build_time(self) -> float:
+        return self._build_time
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint (upward edges + ranks)."""
+        edges = sum(len(lst) for lst in self.up)
+        return edges * 12 + self.rank.nbytes

@@ -1,0 +1,373 @@
+"""Dijkstra's algorithm and its in-memory implementation variants.
+
+Besides the production implementation (used as the "Dijk" IER oracle and
+as ground truth in tests), this module carries the *ablation ladder* from
+Figure 7 of the paper.  Each rung improves one implementation choice:
+
+``first_cut``      decrease-key heap + hash-map distances + hash-set settled
+``pqueue``         no-decrease-key heap (duplicates), rest as first cut
+``settled``        + byte-array settled container
+``graph``          + CSR adjacency arrays and array distances (production)
+
+All four compute identical results; only constants differ — which is the
+paper's point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.bitset import BitArray
+from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.pqueue import BinaryHeap, DecreaseKeyHeap
+
+INF = float("inf")
+
+
+def dijkstra_distance(
+    graph: Graph, source: int, target: int, counters: Counters = NULL_COUNTERS
+) -> float:
+    """Point-to-point network distance (production variant)."""
+    if source == target:
+        return 0.0
+    dist = np.full(graph.num_vertices, INF)
+    settled = BitArray(graph.num_vertices)
+    heap = BinaryHeap()
+    dist[source] = 0.0
+    heap.push(0.0, source)
+    vertex_start = graph.vertex_start
+    edge_target = graph.edge_target
+    edge_weight = graph.edge_weight
+    while heap:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        settled.set(u)
+        counters.add("dijkstra_settled")
+        if u == target:
+            return d
+        for i in range(vertex_start[u], vertex_start[u + 1]):
+            v = int(edge_target[i])
+            nd = d + edge_weight[i]
+            if nd < dist[v]:
+                dist[v] = nd
+                heap.push(nd, v)
+    return INF
+
+
+def dijkstra_path(
+    graph: Graph, source: int, target: int
+) -> Tuple[float, List[int]]:
+    """Point-to-point distance and the vertex sequence of a shortest path."""
+    if source == target:
+        return 0.0, [source]
+    n = graph.num_vertices
+    dist = np.full(n, INF)
+    parent = np.full(n, -1, dtype=np.int64)
+    settled = BitArray(n)
+    heap = BinaryHeap()
+    dist[source] = 0.0
+    heap.push(0.0, source)
+    while heap:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        settled.set(u)
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(int(parent[path[-1]]))
+            path.reverse()
+            return d, path
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heap.push(nd, v)
+    return INF, []
+
+
+def dijkstra_sssp(
+    graph: Graph,
+    source: int,
+    cutoff: float = INF,
+    counters: Counters = NULL_COUNTERS,
+) -> np.ndarray:
+    """Single-source distances to every vertex (optionally cut off)."""
+    dist = np.full(graph.num_vertices, INF)
+    settled = BitArray(graph.num_vertices)
+    heap = BinaryHeap()
+    dist[source] = 0.0
+    heap.push(0.0, source)
+    while heap:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        if d > cutoff:
+            break
+        settled.set(u)
+        counters.add("dijkstra_settled")
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heap.push(nd, v)
+    return dist
+
+
+def dijkstra_to_targets(
+    graph: Graph,
+    source: int,
+    targets: Iterable[int],
+    counters: Counters = NULL_COUNTERS,
+) -> Dict[int, float]:
+    """Distances from ``source`` to each of ``targets``; stops early."""
+    remaining = set(int(t) for t in targets)
+    out: Dict[int, float] = {}
+    if source in remaining:
+        out[source] = 0.0
+        remaining.discard(source)
+    if not remaining:
+        return out
+    dist = np.full(graph.num_vertices, INF)
+    settled = BitArray(graph.num_vertices)
+    heap = BinaryHeap()
+    dist[source] = 0.0
+    heap.push(0.0, source)
+    while heap and remaining:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        settled.set(u)
+        counters.add("dijkstra_settled")
+        if u in remaining:
+            out[u] = d
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heap.push(nd, v)
+    for t in remaining:
+        out[t] = INF
+    return out
+
+
+def dijkstra_restricted(
+    graph: Graph,
+    source: int,
+    allowed: Sequence[int],
+) -> Dict[int, float]:
+    """SSSP restricted to the subgraph induced by ``allowed`` vertices.
+
+    Used for within-leaf G-tree distances and within-Rnet ROAD shortcuts,
+    where paths must not leave the region.
+    """
+    allowed_set = allowed if isinstance(allowed, (set, frozenset)) else set(
+        int(v) for v in allowed
+    )
+    if source not in allowed_set:
+        raise ValueError("source must be inside the allowed region")
+    dist: Dict[int, float] = {source: 0.0}
+    settled = set()
+    heap = BinaryHeap()
+    heap.push(0.0, source)
+    while heap:
+        d, u = heap.pop()
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbors(u):
+            if v not in allowed_set:
+                continue
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heap.push(nd, v)
+    return dist
+
+
+class DijkstraOracle:
+    """Distance-oracle facade over plain Dijkstra (the "Dijk" IER variant).
+
+    Implements the shared oracle protocol: ``distance(s, t)`` plus optional
+    source-side state reuse via ``start_source``/``distance_from_source``
+    (Dijkstra has nothing to reuse; each query runs cold, which is exactly
+    why IER-Dijk is slow in Figure 4).
+    """
+
+    name = "dijkstra"
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def distance(self, source: int, target: int) -> float:
+        return dijkstra_distance(self.graph, source, target)
+
+    def build_time(self) -> float:
+        return 0.0
+
+    def size_bytes(self) -> int:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Figure 7 ablation ladder
+# ----------------------------------------------------------------------
+def _neighbors_objectstyle(adjacency: List[List[Tuple[int, float]]], u: int):
+    return adjacency[u]
+
+
+def build_object_adjacency(graph: Graph) -> List[List[Tuple[int, float]]]:
+    """Per-vertex adjacency-list objects (the pre-"Graph" representation)."""
+    return [list(graph.neighbors(u)) for u in range(graph.num_vertices)]
+
+
+def sssp_first_cut(
+    graph: Graph,
+    source: int,
+    targets_remaining: Optional[set] = None,
+    adjacency: Optional[List[List[Tuple[int, float]]]] = None,
+) -> Dict[int, float]:
+    """"1st Cut": decrease-key heap, dict distances, set settled, object adjacency."""
+    if adjacency is None:
+        adjacency = build_object_adjacency(graph)
+    heap = DecreaseKeyHeap()
+    heap.push(0.0, source)
+    settled: set = set()
+    found: Dict[int, float] = {}
+    while heap:
+        d, u = heap.pop()
+        settled.add(u)
+        if targets_remaining is not None:
+            if u in targets_remaining:
+                found[u] = d
+                if len(found) == len(targets_remaining):
+                    return found
+        else:
+            found[u] = d
+        for v, w in adjacency[u]:
+            if v not in settled:
+                heap.push(d + w, v)
+    return found
+
+
+def sssp_pqueue(
+    graph: Graph,
+    source: int,
+    targets_remaining: Optional[set] = None,
+    adjacency: Optional[List[List[Tuple[int, float]]]] = None,
+) -> Dict[int, float]:
+    """"PQueue": no-decrease-key heap with duplicates; rest as first cut."""
+    if adjacency is None:
+        adjacency = build_object_adjacency(graph)
+    heap = BinaryHeap()
+    heap.push(0.0, source)
+    dist: Dict[int, float] = {source: 0.0}
+    settled: set = set()
+    found: Dict[int, float] = {}
+    while heap:
+        d, u = heap.pop()
+        if u in settled:
+            continue
+        settled.add(u)
+        if targets_remaining is not None:
+            if u in targets_remaining:
+                found[u] = d
+                if len(found) == len(targets_remaining):
+                    return found
+        else:
+            found[u] = d
+        for v, w in adjacency[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heap.push(nd, v)
+    return found
+
+
+def sssp_settled(
+    graph: Graph,
+    source: int,
+    targets_remaining: Optional[set] = None,
+    adjacency: Optional[List[List[Tuple[int, float]]]] = None,
+) -> Dict[int, float]:
+    """"Settled": + byte-array settled container."""
+    if adjacency is None:
+        adjacency = build_object_adjacency(graph)
+    heap = BinaryHeap()
+    heap.push(0.0, source)
+    dist: Dict[int, float] = {source: 0.0}
+    settled = BitArray(graph.num_vertices)
+    found: Dict[int, float] = {}
+    while heap:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        settled.set(u)
+        if targets_remaining is not None:
+            if u in targets_remaining:
+                found[u] = d
+                if len(found) == len(targets_remaining):
+                    return found
+        else:
+            found[u] = d
+        for v, w in adjacency[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heap.push(nd, v)
+    return found
+
+
+def sssp_graph(
+    graph: Graph,
+    source: int,
+    targets_remaining: Optional[set] = None,
+) -> Dict[int, float]:
+    """"Graph": + CSR arrays and array distances (production layout)."""
+    heap = BinaryHeap()
+    heap.push(0.0, source)
+    n = graph.num_vertices
+    dist = np.full(n, INF)
+    dist[source] = 0.0
+    settled = BitArray(n)
+    found: Dict[int, float] = {}
+    vertex_start = graph.vertex_start
+    edge_target = graph.edge_target
+    edge_weight = graph.edge_weight
+    while heap:
+        d, u = heap.pop()
+        if settled.get(u):
+            continue
+        settled.set(u)
+        if targets_remaining is not None:
+            if u in targets_remaining:
+                found[u] = d
+                if len(found) == len(targets_remaining):
+                    return found
+        else:
+            found[u] = d
+        for i in range(vertex_start[u], vertex_start[u + 1]):
+            v = int(edge_target[i])
+            nd = d + edge_weight[i]
+            if nd < dist[v]:
+                dist[v] = nd
+                heap.push(nd, v)
+    return found
+
+
+#: Ordered ablation ladder used by the Figure 7 benchmark.
+ABLATION_VARIANTS = (
+    ("1st Cut", sssp_first_cut),
+    ("PQueue", sssp_pqueue),
+    ("Settled", sssp_settled),
+    ("Graph", sssp_graph),
+)

@@ -1,0 +1,19 @@
+"""Spatial index substrates: Morton codes, R-tree, region quadtree.
+
+The R-tree supplies IER and DB-ENN with incremental Euclidean nearest
+neighbours; quadtrees compress SILC's first-hop colouring and implement
+Distance Browsing's Object Hierarchy.
+"""
+
+from repro.spatial.morton import morton_encode, morton_decode
+from repro.spatial.rtree import RTree, EuclideanKNNCursor
+from repro.spatial.quadtree import QuadTree, QuadBlock
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "RTree",
+    "EuclideanKNNCursor",
+    "QuadTree",
+    "QuadBlock",
+]

@@ -1,0 +1,61 @@
+"""Morton (Z-order) codes.
+
+SILC stores each vertex's colour keyed by the Morton code of its quadtree
+block ("Morton Lists" in Distance Browsing); interleaving the bits of the
+two grid coordinates linearises the quadtree so block lookup is a binary
+search.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_B = [0x5555555555555555, 0x3333333333333333, 0x0F0F0F0F0F0F0F0F, 0x00FF00FF00FF00FF, 0x0000FFFF0000FFFF]
+_S = [1, 2, 4, 8, 16]
+
+
+def _part1by1(x: int) -> int:
+    """Spread the low 32 bits of x so there is a zero bit between each."""
+    x &= 0xFFFFFFFF
+    x = (x | (x << _S[4])) & _B[4]
+    x = (x | (x << _S[3])) & _B[3]
+    x = (x | (x << _S[2])) & _B[2]
+    x = (x | (x << _S[1])) & _B[1]
+    x = (x | (x << _S[0])) & _B[0]
+    return x
+
+
+def _compact1by1(x: int) -> int:
+    x &= _B[0]
+    x = (x ^ (x >> _S[0])) & _B[1]
+    x = (x ^ (x >> _S[1])) & _B[2]
+    x = (x ^ (x >> _S[2])) & _B[3]
+    x = (x ^ (x >> _S[3])) & _B[4]
+    x = (x ^ (x >> _S[4])) & 0xFFFFFFFF
+    return x
+
+
+def morton_encode(col: int, row: int) -> int:
+    """Interleave two 32-bit grid coordinates into one Morton code."""
+    return _part1by1(col) | (_part1by1(row) << 1)
+
+
+def morton_decode(code: int) -> Tuple[int, int]:
+    """Inverse of :func:`morton_encode`; returns (col, row)."""
+    return _compact1by1(code), _compact1by1(code >> 1)
+
+
+def morton_encode_array(cols: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Vectorised Morton encoding for uint32 coordinate arrays."""
+    x = cols.astype(np.uint64)
+    y = rows.astype(np.uint64)
+
+    def spread(v: np.ndarray) -> np.ndarray:
+        v = v & np.uint64(0xFFFFFFFF)
+        for b, s in zip(reversed(_B), reversed(_S)):
+            v = (v | (v << np.uint64(s))) & np.uint64(b)
+        return v
+
+    return spread(x) | (spread(y) << np.uint64(1))

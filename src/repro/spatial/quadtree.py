@@ -1,0 +1,319 @@
+"""Region quadtrees.
+
+Two roles in this library, mirroring the paper:
+
+* **SILC colour maps** (Section 3.3): for each source vertex, every other
+  vertex is coloured by the first hop of its shortest path; contiguous
+  same-colour regions are compressed into quadtree blocks.  Each block
+  additionally stores the lambda-/lambda+ ratio bounds DisBrw uses to
+  derive network-distance intervals.
+* **Object Hierarchy** (Section 3.3 / Appendix A.1.1): a capacity-split
+  quadtree over an object set, whose blocks DisBrw visits best-first.
+
+Both are built over an integer grid obtained by quantising vertex
+coordinates; when distinct-valued points collide in one grid cell the
+block stores an explicit exception map rather than recursing forever.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class QuadBlock:
+    """One quadtree block covering grid cells [cx, cx+size) x [cy, cy+size)."""
+
+    __slots__ = (
+        "cx",
+        "cy",
+        "size",
+        "children",
+        "value",
+        "exceptions",
+        "lam_minus",
+        "lam_plus",
+        "points",
+        "count",
+    )
+
+    def __init__(self, cx: int, cy: int, size: int) -> None:
+        self.cx = cx
+        self.cy = cy
+        self.size = size
+        self.children: Optional[List["QuadBlock"]] = None
+        self.value: Optional[int] = None
+        self.exceptions: Optional[Dict[Tuple[int, int], int]] = None
+        self.lam_minus = math.inf
+        self.lam_plus = -math.inf
+        self.points: Optional[List[int]] = None
+        self.count = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def contains_cell(self, gx: int, gy: int) -> bool:
+        return self.cx <= gx < self.cx + self.size and self.cy <= gy < self.cy + self.size
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "node"
+        return f"QuadBlock({kind}, cell=({self.cx},{self.cy}), size={self.size})"
+
+
+class QuadTree:
+    """Region quadtree over quantised planar points.
+
+    Use :meth:`from_colored_points` for SILC colour maps and
+    :meth:`from_points` for Object Hierarchies.
+    """
+
+    def __init__(
+        self,
+        root: QuadBlock,
+        grid_bits: int,
+        x0: float,
+        y0: float,
+        cell_w: float,
+        cell_h: float,
+    ) -> None:
+        self.root = root
+        self.grid_bits = grid_bits
+        self.x0 = x0
+        self.y0 = y0
+        self.cell_w = cell_w
+        self.cell_h = cell_h
+
+    # ------------------------------------------------------------------
+    # Grid helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grid_params(
+        xs: np.ndarray, ys: np.ndarray, grid_bits: int
+    ) -> Tuple[float, float, float, float]:
+        grid = 1 << grid_bits
+        x0, y0 = float(xs.min()), float(ys.min())
+        spanx = float(xs.max()) - x0 or 1.0
+        spany = float(ys.max()) - y0 or 1.0
+        return x0, y0, spanx / grid, spany / grid
+
+    def to_cell(self, x: float, y: float) -> Tuple[int, int]:
+        grid = (1 << self.grid_bits) - 1
+        gx = min(int((x - self.x0) / self.cell_w), grid)
+        gy = min(int((y - self.y0) / self.cell_h), grid)
+        return max(gx, 0), max(gy, 0)
+
+    def block_bbox(self, block: QuadBlock) -> Tuple[float, float, float, float]:
+        """World-coordinate bounding box of a block."""
+        return (
+            self.x0 + block.cx * self.cell_w,
+            self.y0 + block.cy * self.cell_h,
+            self.x0 + (block.cx + block.size) * self.cell_w,
+            self.y0 + (block.cy + block.size) * self.cell_h,
+        )
+
+    def min_dist(self, block: QuadBlock, px: float, py: float) -> float:
+        """Min Euclidean distance from (px, py) to the block's bbox."""
+        min_x, min_y, max_x, max_y = self.block_bbox(block)
+        dx = max(min_x - px, 0.0, px - max_x)
+        dy = max(min_y - py, 0.0, py - max_y)
+        return math.hypot(dx, dy)
+
+    def max_dist(self, block: QuadBlock, px: float, py: float) -> float:
+        """Max Euclidean distance from (px, py) to the block's bbox."""
+        min_x, min_y, max_x, max_y = self.block_bbox(block)
+        dx = max(abs(px - min_x), abs(px - max_x))
+        dy = max(abs(py - min_y), abs(py - max_y))
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------
+    # SILC colour map construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_colored_points(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        colors: Sequence[int],
+        ratios: Optional[Sequence[float]] = None,
+        grid_bits: int = 10,
+        skip: Optional[int] = None,
+    ) -> "QuadTree":
+        """Compress a colouring into uniform-colour quadtree blocks.
+
+        ``colors[i]`` is the first-hop colour of point i; ``ratios[i]`` the
+        Euclidean/network distance ratio aggregated into lambda bounds.
+        ``skip`` excludes one index (SILC excludes the source itself).
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        colors_arr = np.asarray(colors, dtype=np.int64)
+        ratio_arr = (
+            np.asarray(ratios, dtype=np.float64) if ratios is not None else None
+        )
+        x0, y0, cw, chh = cls._grid_params(xs, ys, grid_bits)
+        grid = (1 << grid_bits) - 1
+        gx = np.clip(((xs - x0) / cw).astype(np.int64), 0, grid)
+        gy = np.clip(((ys - y0) / chh).astype(np.int64), 0, grid)
+
+        indices = [i for i in range(len(xs)) if i != skip and colors_arr[i] >= 0]
+
+        def build(cx: int, cy: int, size: int, members: List[int]) -> QuadBlock:
+            block = QuadBlock(cx, cy, size)
+            block.count = len(members)
+            if ratio_arr is not None and members:
+                rs = ratio_arr[members]
+                block.lam_minus = float(rs.min())
+                block.lam_plus = float(rs.max())
+            if not members:
+                return block
+            first = colors_arr[members[0]]
+            if all(colors_arr[i] == first for i in members):
+                block.value = int(first)
+                return block
+            if size == 1:
+                # Distinct colours collide in one cell: exception map.
+                block.exceptions = {
+                    (int(gx[i]), int(gy[i])): int(colors_arr[i]) for i in members
+                }
+                block.value = int(first)
+                return block
+            half = size // 2
+            quadrants: List[List[int]] = [[], [], [], []]
+            for i in members:
+                qx = 0 if gx[i] < cx + half else 1
+                qy = 0 if gy[i] < cy + half else 1
+                quadrants[qy * 2 + qx].append(i)
+            block.children = [
+                build(cx, cy, half, quadrants[0]),
+                build(cx + half, cy, half, quadrants[1]),
+                build(cx, cy + half, half, quadrants[2]),
+                build(cx + half, cy + half, half, quadrants[3]),
+            ]
+            return block
+
+        root = build(0, 0, 1 << grid_bits, indices)
+        return cls(root, grid_bits, x0, y0, cw, chh)
+
+    # ------------------------------------------------------------------
+    # Object Hierarchy construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        items: Optional[Sequence[int]] = None,
+        leaf_capacity: int = 8,
+        grid_bits: int = 10,
+    ) -> "QuadTree":
+        """Capacity-split quadtree over points; leaves list item ids.
+
+        Every block records its object ``count`` — the extra preprocessing
+        step the paper adds so DisBrw can tighten Dk from node upper
+        bounds (Appendix A.1).
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if items is None:
+            items = list(range(len(xs)))
+        items = [int(i) for i in items]
+        x0, y0, cw, chh = cls._grid_params(xs, ys, grid_bits) if len(xs) else (
+            0.0,
+            0.0,
+            1.0,
+            1.0,
+        )
+        grid = (1 << grid_bits) - 1
+        gx = np.clip(((xs - x0) / cw).astype(np.int64), 0, grid) if len(xs) else xs
+        gy = np.clip(((ys - y0) / chh).astype(np.int64), 0, grid) if len(ys) else ys
+
+        def build(cx: int, cy: int, size: int, members: List[int]) -> QuadBlock:
+            block = QuadBlock(cx, cy, size)
+            block.count = len(members)
+            if len(members) <= leaf_capacity or size == 1:
+                block.points = [items[i] for i in members]
+                return block
+            half = size // 2
+            quadrants: List[List[int]] = [[], [], [], []]
+            for i in members:
+                qx = 0 if gx[i] < cx + half else 1
+                qy = 0 if gy[i] < cy + half else 1
+                quadrants[qy * 2 + qx].append(i)
+            if any(len(q) == len(members) for q in quadrants) and size <= 2:
+                block.points = [items[i] for i in members]
+                return block
+            block.children = [
+                build(cx, cy, half, quadrants[0]),
+                build(cx + half, cy, half, quadrants[1]),
+                build(cx, cy + half, half, quadrants[2]),
+                build(cx + half, cy + half, half, quadrants[3]),
+            ]
+            return block
+
+        root = build(0, 0, 1 << grid_bits, list(range(len(xs))))
+        return cls(root, grid_bits, x0, y0, cw, chh)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def locate(self, x: float, y: float) -> QuadBlock:
+        """The leaf block whose region contains world point (x, y)."""
+        gx, gy = self.to_cell(x, y)
+        block = self.root
+        while not block.is_leaf:
+            half = block.size // 2
+            qx = 0 if gx < block.cx + half else 1
+            qy = 0 if gy < block.cy + half else 1
+            block = block.children[qy * 2 + qx]
+        return block
+
+    def color_at(self, x: float, y: float) -> Optional[int]:
+        """SILC colour of the world point (x, y)."""
+        gx, gy = self.to_cell(x, y)
+        block = self.locate(x, y)
+        if block.exceptions is not None:
+            hit = block.exceptions.get((gx, gy))
+            if hit is not None:
+                return hit
+        return block.value
+
+    def leaves(self) -> Iterable[QuadBlock]:
+        stack = [self.root]
+        while stack:
+            block = stack.pop()
+            if block.is_leaf:
+                yield block
+            else:
+                stack.extend(block.children)
+
+    def num_blocks(self) -> int:
+        total = 0
+        stack = [self.root]
+        while stack:
+            block = stack.pop()
+            total += 1
+            if not block.is_leaf:
+                stack.extend(block.children)
+        return total
+
+    def size_bytes(self) -> int:
+        """Approximate footprint: 48 bytes per block + exception entries."""
+        total = 0
+        for block in self._all_blocks():
+            total += 48
+            if block.exceptions:
+                total += 24 * len(block.exceptions)
+            if block.points:
+                total += 8 * len(block.points)
+        return total
+
+    def _all_blocks(self) -> Iterable[QuadBlock]:
+        stack = [self.root]
+        while stack:
+            block = stack.pop()
+            yield block
+            if not block.is_leaf:
+                stack.extend(block.children)

@@ -1,0 +1,203 @@
+"""R-tree with incremental (suspend/resume) Euclidean kNN.
+
+IER's candidate generator (Section 3.2) and DB-ENN's (Appendix A.1.1) is
+"retrieve the next Euclidean nearest neighbour" — a best-first search over
+an R-tree whose priority queue survives between retrievals so the search
+can be suspended after the first k results and resumed when a candidate
+turns out to be a false hit.  :class:`EuclideanKNNCursor` is that
+suspendable search; :class:`RTree` is an STR bulk-loaded R-tree (the
+object sets are known up front, so bulk loading gives well-packed nodes,
+matching the paper's "parameters chosen for best performance").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.pqueue import BinaryHeap
+
+
+class _Node:
+    __slots__ = ("min_x", "min_y", "max_x", "max_y", "children", "entries")
+
+    def __init__(self) -> None:
+        self.min_x = math.inf
+        self.min_y = math.inf
+        self.max_x = -math.inf
+        self.max_y = -math.inf
+        self.children: List["_Node"] = []
+        self.entries: List[Tuple[float, float, int]] = []  # (x, y, item)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def extend_bbox(self, min_x: float, min_y: float, max_x: float, max_y: float) -> None:
+        self.min_x = min(self.min_x, min_x)
+        self.min_y = min(self.min_y, min_y)
+        self.max_x = max(self.max_x, max_x)
+        self.max_y = max(self.max_y, max_y)
+
+    def min_dist(self, px: float, py: float) -> float:
+        """Minimum Euclidean distance from a point to this bounding box."""
+        dx = max(self.min_x - px, 0.0, px - self.max_x)
+        dy = max(self.min_y - py, 0.0, py - self.max_y)
+        return math.hypot(dx, dy)
+
+
+class RTree:
+    """STR bulk-loaded point R-tree mapping (x, y) points to item ids."""
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        items: Optional[Sequence[int]] = None,
+        node_capacity: int = 16,
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("coordinate arrays must have the same length")
+        if node_capacity < 2:
+            raise ValueError("node capacity must be at least 2")
+        self.node_capacity = node_capacity
+        self.num_items = len(xs)
+        if items is None:
+            items = range(len(xs))
+        records = [
+            (float(x), float(y), int(item)) for x, y, item in zip(xs, ys, items)
+        ]
+        self.root = self._bulk_load(records)
+
+    # ------------------------------------------------------------------
+    # Construction (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+    def _bulk_load(self, records: List[Tuple[float, float, int]]) -> _Node:
+        if not records:
+            return _Node()
+        cap = self.node_capacity
+        # Leaf level.
+        leaves: List[_Node] = []
+        n = len(records)
+        num_leaves = math.ceil(n / cap)
+        slices = math.ceil(math.sqrt(num_leaves))
+        records = sorted(records, key=lambda r: r[0])
+        slice_size = math.ceil(n / slices)
+        for s in range(0, n, slice_size):
+            chunk = sorted(records[s : s + slice_size], key=lambda r: r[1])
+            for i in range(0, len(chunk), cap):
+                node = _Node()
+                node.entries = chunk[i : i + cap]
+                for x, y, _ in node.entries:
+                    node.extend_bbox(x, y, x, y)
+                leaves.append(node)
+        # Upper levels.
+        level = leaves
+        while len(level) > 1:
+            parents: List[_Node] = []
+            m = len(level)
+            num_parents = math.ceil(m / cap)
+            slices = math.ceil(math.sqrt(num_parents))
+            level = sorted(level, key=lambda nd: (nd.min_x + nd.max_x) / 2)
+            slice_size = math.ceil(m / slices)
+            for s in range(0, m, slice_size):
+                chunk = sorted(
+                    level[s : s + slice_size],
+                    key=lambda nd: (nd.min_y + nd.max_y) / 2,
+                )
+                for i in range(0, len(chunk), cap):
+                    parent = _Node()
+                    parent.children = chunk[i : i + cap]
+                    for child in parent.children:
+                        parent.extend_bbox(
+                            child.min_x, child.min_y, child.max_x, child.max_y
+                        )
+                    parents.append(parent)
+            level = parents
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knn(self, px: float, py: float, k: int) -> List[Tuple[float, int]]:
+        """The k items nearest to (px, py) as ``(distance, item)`` pairs."""
+        cursor = self.nearest_cursor(px, py)
+        out: List[Tuple[float, int]] = []
+        for pair in cursor:
+            out.append(pair)
+            if len(out) == k:
+                break
+        return out
+
+    def nearest_cursor(self, px: float, py: float) -> "EuclideanKNNCursor":
+        """A suspendable incremental nearest-neighbour cursor."""
+        return EuclideanKNNCursor(self, px, py)
+
+    def size_bytes(self) -> int:
+        """Approximate footprint: 36 bytes per node bbox + 20 per entry."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 36
+            total += 20 * len(node.entries)
+            stack.extend(node.children)
+        return total
+
+    def __len__(self) -> int:
+        return self.num_items
+
+
+class EuclideanKNNCursor:
+    """Best-first incremental Euclidean NN search over an :class:`RTree`.
+
+    The heap persists across :meth:`next` calls so IER can resume after
+    false hits.  :meth:`peek_distance` exposes the lower bound on the next
+    result (``Front(E)`` in Algorithm 2) without consuming it.
+    """
+
+    def __init__(self, tree: RTree, px: float, py: float) -> None:
+        self._px, self._py = float(px), float(py)
+        self._heap = BinaryHeap()
+        self.retrieved = 0
+        if tree.num_items:
+            self._heap.push(tree.root.min_dist(self._px, self._py), tree.root)
+
+    def _advance(self) -> Optional[Tuple[float, int]]:
+        heap = self._heap
+        px, py = self._px, self._py
+        while heap:
+            key, element = heap.pop()
+            if isinstance(element, _Node):
+                if element.is_leaf:
+                    for x, y, item in element.entries:
+                        heap.push(math.hypot(x - px, y - py), (item,))
+                else:
+                    for child in element.children:
+                        heap.push(child.min_dist(px, py), child)
+            else:
+                self.retrieved += 1
+                return key, element[0]
+        return None
+
+    def next(self) -> Optional[Tuple[float, int]]:
+        """Next ``(euclidean_distance, item)`` or None when exhausted."""
+        return self._advance()
+
+    def peek_distance(self) -> float:
+        """Lower bound on the distance of the next result (inf if none).
+
+        Pushes nodes down lazily until the heap front is an item or the
+        bound is already exact enough (a node's min_dist is a valid lower
+        bound, so the raw front key is returned).
+        """
+        return self._heap.peek_key()
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        while True:
+            item = self._advance()
+            if item is None:
+                return
+            yield item

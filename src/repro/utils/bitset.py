@@ -1,0 +1,55 @@
+"""Bit-array settled-vertex container (paper Section 6.2, choice 2).
+
+INE, ROAD and the Dijkstra variants must track which vertices have been
+settled.  The paper finds a pre-allocated bit array roughly 2x faster than
+a hash set despite the per-query allocation cost, because it occupies 32x
+less space than an int array and therefore fits far more entries per cache
+line.  In Python the same trade-off appears between a ``set`` and a
+``bytearray``; we use a ``bytearray`` (one byte per vertex) which profiles
+faster than bit twiddling in CPython while keeping the pre-allocation
+semantics of the paper.
+"""
+
+from __future__ import annotations
+
+
+class BitArray:
+    """Fixed-size boolean array over vertex ids ``0..n-1``.
+
+    >>> b = BitArray(8)
+    >>> b.set(3); b.get(3), b.get(4)
+    (True, False)
+    """
+
+    __slots__ = ("_bytes", "_n")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("size must be non-negative")
+        self._n = n
+        self._bytes = bytearray(n)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def get(self, i: int) -> bool:
+        return bool(self._bytes[i])
+
+    def set(self, i: int) -> None:
+        self._bytes[i] = 1
+
+    def unset(self, i: int) -> None:
+        self._bytes[i] = 0
+
+    def __contains__(self, i: int) -> bool:
+        return bool(self._bytes[i])
+
+    def add(self, i: int) -> None:
+        """Alias for :meth:`set` so BitArray is a drop-in for ``set()``."""
+        self._bytes[i] = 1
+
+    def clear(self) -> None:
+        self._bytes = bytearray(self._n)
+
+    def count(self) -> int:
+        return sum(self._bytes)

@@ -1,0 +1,51 @@
+"""Opt-in instrumentation counters.
+
+Several of the paper's figures report algorithm-internal statistics rather
+than wall-clock time — Figure 9(b) plots G-tree "path cost" (the number of
+border-to-border distance-matrix computations) against the number of
+vertices ROAD bypasses; Table 3 profiles memory accesses.  Algorithms in
+this library accept an optional :class:`Counters` and record into it; the
+shared :data:`NULL_COUNTERS` sentinel records nothing, so un-instrumented
+benchmark runs pay a single attribute read per event site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counters:
+    """Mutable bag of named event counters.
+
+    >>> c = Counters()
+    >>> c.add("heap_pops"); c.add("heap_pops", 2)
+    >>> c["heap_pops"]
+    3
+    """
+
+    __slots__ = ("enabled", "_counts")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if self.enabled:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counters({body})"
+
+
+#: Shared disabled counters; used as default everywhere.
+NULL_COUNTERS = Counters(enabled=False)

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic networks and object sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import road_network, grid_network, travel_time_weights
+from repro.graph.graph import from_edge_list
+from repro.objects import uniform_objects
+
+
+@pytest.fixture(scope="session")
+def line_graph():
+    """A 6-vertex path with unit-ish weights (hand-checkable)."""
+    coords = [(float(i), 0.0) for i in range(6)]
+    edges = [(i, i + 1, 1.0 + 0.1 * i) for i in range(5)]
+    return from_edge_list(coords, edges, name="line6")
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    return grid_network(6, 6, seed=1, drop_fraction=0.0)
+
+
+@pytest.fixture(scope="session")
+def road400():
+    """Default mid-size test network."""
+    return road_network(400, seed=7)
+
+
+@pytest.fixture(scope="session")
+def road400_time(road400):
+    return travel_time_weights(road400, seed=7)
+
+
+@pytest.fixture(scope="session")
+def objects400(road400):
+    return uniform_objects(road400, density=0.03, seed=5)
+
+
+@pytest.fixture(scope="session")
+def queries400(road400):
+    rng = np.random.default_rng(3)
+    return [int(q) for q in rng.integers(0, road400.num_vertices, size=20)]

@@ -1,0 +1,57 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.dimacs import save_dimacs
+from repro.graph.generators import road_network
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.k == 5 and args.density == 0.01
+
+
+class TestCommands:
+    def test_query_agreement(self, capsys):
+        rc = main(
+            ["query", "--vertices", "300", "--k", "3", "--query", "10",
+             "--methods", "ine", "gtree", "ier-phl"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all methods agree" in out
+
+    def test_query_travel_time(self, capsys):
+        rc = main(
+            ["query", "--vertices", "250", "--travel-time",
+             "--methods", "ine", "gtree"]
+        )
+        assert rc == 0
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--vertices", "250", "--k", "3", "--queries", "4",
+             "--densities", "0.05", "--methods", "ine", "gtree"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ine" in out and "gtree" in out
+
+    def test_info_synthetic(self, capsys):
+        rc = main(["info", "--vertices", "200"])
+        assert rc == 0
+        assert "degree-2 share" in capsys.readouterr().out
+
+    def test_info_dimacs(self, tmp_path, capsys):
+        graph = road_network(150, seed=2)
+        gr, co = str(tmp_path / "g.gr"), str(tmp_path / "g.co")
+        save_dimacs(graph, gr, co)
+        rc = main(["info", "--gr", gr, "--co", co])
+        assert rc == 0
+        assert "CSR footprint" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""DIMACS format round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.dimacs import load_dimacs, save_dimacs
+from repro.graph.generators import road_network
+
+
+class TestRoundTrip:
+    def test_graph_survives_roundtrip(self, tmp_path, road400):
+        gr = str(tmp_path / "net.gr")
+        co = str(tmp_path / "net.co")
+        save_dimacs(road400, gr, co)
+        loaded = load_dimacs(gr, co)
+        assert loaded.num_vertices == road400.num_vertices
+        assert loaded.num_edges == road400.num_edges
+        assert np.allclose(loaded.x, road400.x, atol=1e-5)
+        for u, v, w in road400.edge_list()[:100]:
+            assert loaded.edge_weight_between(u, v) == pytest.approx(w, abs=1e-5)
+
+    def test_load_without_coordinates(self, tmp_path, line_graph):
+        gr = str(tmp_path / "net.gr")
+        save_dimacs(line_graph, gr)
+        loaded = load_dimacs(gr)
+        assert loaded.num_vertices == line_graph.num_vertices
+
+    def test_comment_and_min_arc_handling(self, tmp_path):
+        gr = tmp_path / "toy.gr"
+        gr.write_text(
+            "c a toy graph\n"
+            "p sp 3 4\n"
+            "a 1 2 5.0\n"
+            "a 2 1 3.0\n"  # reverse direction with smaller weight wins
+            "a 2 3 1.0\n"
+            "a 3 2 1.0\n"
+        )
+        g = load_dimacs(str(gr))
+        assert g.num_vertices == 3
+        assert g.edge_weight_between(0, 1) == pytest.approx(3.0)
+
+    def test_lcc_restriction(self, tmp_path):
+        gr = tmp_path / "frag.gr"
+        gr.write_text(
+            "p sp 5 4\n"
+            "a 1 2 1\n a 2 1 1\n"
+            "a 4 5 1\n a 5 4 1\n"
+        )
+        g = load_dimacs(str(gr))
+        assert g.num_vertices == 2  # larger fragment (tie resolved by order)
+        full = load_dimacs(str(gr), restrict_to_lcc=False)
+        assert full.num_vertices == 5

@@ -1,0 +1,121 @@
+"""Graph structure, builder validation and weight-variant tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph, GraphBuilder, from_edge_list, largest_connected_component
+
+
+class TestGraphBuilder:
+    def test_basic_build(self, line_graph):
+        assert line_graph.num_vertices == 6
+        assert line_graph.num_edges == 5
+        assert line_graph.degree(0) == 1
+        assert line_graph.degree(1) == 2
+
+    def test_rejects_self_loop(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        with pytest.raises(ValueError, match="self loop"):
+            b.add_edge(0, 0, 1.0)
+
+    def test_rejects_nonpositive_weight(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        b.add_vertex(1, 0)
+        with pytest.raises(ValueError, match="positive"):
+            b.add_edge(0, 1, 0.0)
+
+    def test_rejects_unknown_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        with pytest.raises(ValueError, match="unknown vertex"):
+            b.add_edge(0, 5, 1.0)
+
+    def test_rejects_disconnected(self):
+        coords = [(0, 0), (1, 0), (5, 5), (6, 5)]
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        with pytest.raises(ValueError, match="connected"):
+            from_edge_list(coords, edges)
+
+    def test_parallel_edges_keep_minimum(self):
+        coords = [(0, 0), (1, 0)]
+        g = from_edge_list(coords, [(0, 1, 5.0), (1, 0, 2.0)])
+        assert g.num_edges == 1
+        assert g.edge_weight_between(0, 1) == 2.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().build()
+
+
+class TestGraphAccessors:
+    def test_neighbors_symmetric(self, road400):
+        for u in range(0, road400.num_vertices, 37):
+            for v, w in road400.neighbors(u):
+                back = dict(road400.neighbors(v))
+                assert back[u] == w
+
+    def test_csr_offsets_consistent(self, road400):
+        assert road400.vertex_start[0] == 0
+        assert road400.vertex_start[-1] == len(road400.edge_target)
+        assert np.all(np.diff(road400.vertex_start) >= 0)
+
+    def test_neighbor_slice_matches_neighbors(self, road400):
+        targets, weights = road400.neighbor_slice(10)
+        assert list(zip(targets, weights)) == [
+            (v, w) for v, w in road400.neighbors(10)
+        ]
+
+    def test_edge_weight_between_absent(self, line_graph):
+        assert line_graph.edge_weight_between(0, 5) is None
+
+    def test_euclidean(self, line_graph):
+        assert line_graph.euclidean(0, 3) == pytest.approx(3.0)
+        assert line_graph.euclidean_to_point(0, 0.0, 4.0) == pytest.approx(4.0)
+
+    def test_edge_list_each_edge_once(self, road400):
+        edges = road400.edge_list()
+        assert len(edges) == road400.num_edges
+        assert all(u < v for u, v, _ in edges)
+
+    def test_size_bytes_positive(self, road400):
+        assert road400.size_bytes() > road400.num_vertices * 8
+
+
+class TestWeights:
+    def test_max_speed_lower_bound_property(self, road400):
+        """dE / S must lower-bound the weight of every edge."""
+        speed = road400.max_speed()
+        for u, v, w in road400.edge_list()[:300]:
+            assert road400.euclidean(u, v) / speed <= w + 1e-9
+
+    def test_with_weights_shares_topology(self, road400):
+        doubled = road400.with_weights(road400.edge_weight * 2, "doubled")
+        assert doubled.num_edges == road400.num_edges
+        assert doubled.weight_kind == "doubled"
+        assert doubled.edge_weight[0] == 2 * road400.edge_weight[0]
+
+    def test_with_weights_rejects_bad_length(self, road400):
+        with pytest.raises(ValueError):
+            road400.with_weights(np.ones(3), "bad")
+
+    def test_travel_time_lower_bound(self, road400_time):
+        speed = road400_time.max_speed()
+        for u, v, w in road400_time.edge_list()[:300]:
+            assert road400_time.euclidean(u, v) / speed <= w + 1e-9
+
+
+class TestLargestComponent:
+    def test_restricts_to_lcc(self):
+        coords = [(0, 0), (1, 0), (2, 0), (9, 9), (10, 9)]
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]
+        g = from_edge_list(coords, edges, require_connected=False)
+        lcc = largest_connected_component(g)
+        assert lcc.num_vertices == 3
+        assert lcc.num_edges == 2
+
+    def test_noop_when_connected(self, line_graph):
+        assert largest_connected_component(line_graph) is line_graph

@@ -1,0 +1,185 @@
+"""Cross-method integration and property-based agreement tests.
+
+The core reproducibility claim: every method computes the same kNN
+results.  These tests sweep random networks, object distributions, both
+weight kinds and edge-case workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import (
+    delaunay_network,
+    road_network,
+    travel_time_weights,
+)
+from repro.index.gtree import GTree, GTreeOracle
+from repro.index.road import RoadIndex
+from repro.index.silc import SILCIndex
+from repro.knn.base import verify_knn_result
+from repro.knn.distance_browsing import DistanceBrowsing
+from repro.knn.gtree_knn import GTreeKNN
+from repro.knn.ier import IER
+from repro.knn.ine import INE
+from repro.knn.road_knn import RoadKNN
+from repro.objects import clustered_objects, poi_object_sets, uniform_objects
+from repro.pathfinding.ch import ContractionHierarchy
+from repro.pathfinding.dijkstra import DijkstraOracle
+from repro.pathfinding.hub_labels import HubLabels
+from repro.pathfinding.tnr import TransitNodeRouting
+
+
+def _all_methods(graph, objects, with_silc=True):
+    gtree = GTree(graph, tau=32)
+    road = RoadIndex(graph, levels=3)
+    ch = ContractionHierarchy(graph)
+    hl = HubLabels(graph, order=list(np.argsort(-ch.rank)))
+    tnr = TransitNodeRouting(graph, ch=ch, num_transit=16)
+    methods = [
+        INE(graph, objects),
+        GTreeKNN(gtree, objects),
+        RoadKNN(road, objects),
+        IER(graph, objects, DijkstraOracle(graph)),
+        IER(graph, objects, GTreeOracle(gtree)),
+        IER(graph, objects, ch),
+        IER(graph, objects, hl),
+        IER(graph, objects, tnr),
+    ]
+    if with_silc:
+        silc = SILCIndex(graph)
+        methods.append(DistanceBrowsing(silc, objects))
+        methods.append(
+            DistanceBrowsing(silc, objects, candidate_source="hierarchy")
+        )
+    return methods
+
+
+class TestAgreementDistanceWeights:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = road_network(350, seed=21)
+        objects = uniform_objects(graph, 0.03, seed=4)
+        return graph, objects, _all_methods(graph, objects)
+
+    def test_all_methods_agree(self, setup):
+        graph, objects, methods = setup
+        reference = methods[0]
+        rng = np.random.default_rng(0)
+        for k in (1, 3, 10):
+            for _ in range(12):
+                q = int(rng.integers(graph.num_vertices))
+                truth = reference.knn(q, k)
+                for alg in methods[1:]:
+                    assert verify_knn_result(alg.knn(q, k), truth), (
+                        alg.name, q, k
+                    )
+
+    def test_clustered_objects(self, setup):
+        graph, _, _ = setup
+        objects = clustered_objects(graph, 8, seed=9)
+        methods = _all_methods(graph, objects, with_silc=False)
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            q = int(rng.integers(graph.num_vertices))
+            truth = methods[0].knn(q, 5)
+            for alg in methods[1:]:
+                assert verify_knn_result(alg.knn(q, 5), truth), alg.name
+
+    def test_poi_sets(self, setup):
+        graph, _, _ = setup
+        for name, objects in poi_object_sets(graph, seed=2).items():
+            methods = [
+                INE(graph, objects),
+                GTreeKNN(GTree(graph, tau=32), objects),
+            ]
+            truth = methods[0].knn(5, 5)
+            assert verify_knn_result(methods[1].knn(5, 5), truth), name
+
+
+class TestAgreementTravelTime:
+    def test_all_methods_agree_on_time_weights(self):
+        graph = travel_time_weights(road_network(300, seed=33), seed=33)
+        objects = uniform_objects(graph, 0.04, seed=6)
+        # DisBrw is excluded on travel times, as in the paper.
+        methods = _all_methods(graph, objects, with_silc=False)
+        rng = np.random.default_rng(2)
+        for k in (1, 8):
+            for _ in range(10):
+                q = int(rng.integers(graph.num_vertices))
+                truth = methods[0].knn(q, k)
+                for alg in methods[1:]:
+                    assert verify_knn_result(alg.knn(q, k), truth), (
+                        alg.name, q, k
+                    )
+
+
+class TestEdgeCases:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        graph = road_network(120, seed=8)
+        return graph
+
+    def test_single_object(self, tiny):
+        objects = [tiny.num_vertices // 2]
+        methods = _all_methods(tiny, objects, with_silc=True)
+        truth = methods[0].knn(0, 1)
+        for alg in methods[1:]:
+            assert verify_knn_result(alg.knn(0, 1), truth), alg.name
+
+    def test_all_vertices_are_objects(self, tiny):
+        objects = np.arange(tiny.num_vertices)
+        methods = _all_methods(tiny, objects, with_silc=True)
+        truth = methods[0].knn(3, 5)
+        assert truth[0][0] == 0.0
+        for alg in methods[1:]:
+            assert verify_knn_result(alg.knn(3, 5), truth), alg.name
+
+    def test_k_equals_object_count(self, tiny):
+        objects = uniform_objects(tiny, 0.05, seed=1)
+        methods = _all_methods(tiny, objects, with_silc=False)
+        k = len(objects)
+        truth = methods[0].knn(0, k)
+        assert len(truth) == k
+        for alg in methods[1:]:
+            assert verify_knn_result(alg.knn(0, k), truth), alg.name
+
+    def test_graph_smaller_than_leaf_capacity(self):
+        graph = road_network(40, seed=5)
+        objects = [1, 5, 9]
+        gtree = GTree(graph, tau=128)  # single-leaf G-tree
+        truth = INE(graph, objects).knn(0, 2)
+        assert verify_knn_result(GTreeKNN(gtree, objects).knn(0, 2), truth)
+        assert verify_knn_result(
+            IER(graph, objects, GTreeOracle(gtree)).knn(0, 2), truth
+        )
+
+
+class TestPropertyBased:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        density=st.sampled_from([0.02, 0.1, 0.4]),
+        k=st.integers(1, 6),
+    )
+    def test_methods_agree_on_random_instances(self, seed, density, k):
+        graph = delaunay_network(70, seed=seed)
+        objects = uniform_objects(graph, density, seed=seed, minimum=k)
+        gtree = GTree(graph, tau=16)
+        road = RoadIndex(graph, levels=2)
+        silc = SILCIndex(graph)
+        ine = INE(graph, objects)
+        algs = [
+            GTreeKNN(gtree, objects),
+            RoadKNN(road, objects),
+            DistanceBrowsing(silc, objects),
+            IER(graph, objects, GTreeOracle(gtree)),
+        ]
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            q = int(rng.integers(graph.num_vertices))
+            truth = ine.knn(q, k)
+            for alg in algs:
+                assert verify_knn_result(alg.knn(q, k), truth), (
+                    alg.name, seed, q, k
+                )

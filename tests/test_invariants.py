@@ -1,0 +1,136 @@
+"""Cross-cutting invariants the algorithms' correctness rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import delaunay_network, road_network, travel_time_weights
+from repro.index.gtree import GTree
+from repro.knn.base import verify_knn_result
+from repro.knn.distance_browsing import _KthUpperBound
+from repro.pathfinding.dijkstra import dijkstra_distance, dijkstra_sssp
+
+
+class TestEuclideanLowerBound:
+    """IER's pruning is sound iff dE/S never exceeds network distance."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), time_weights=st.booleans())
+    def test_bound_holds_on_random_networks(self, seed, time_weights):
+        graph = road_network(150, seed=seed)
+        if time_weights:
+            graph = travel_time_weights(graph, seed=seed)
+        speed = graph.max_speed()
+        rng = np.random.default_rng(seed)
+        source = int(rng.integers(graph.num_vertices))
+        sssp = dijkstra_sssp(graph, source)
+        for t in rng.integers(0, graph.num_vertices, 10):
+            t = int(t)
+            if np.isfinite(sssp[t]):
+                assert graph.euclidean(source, t) / speed <= sssp[t] + 1e-9
+
+
+class TestGTreeNodeKeyLowerBound:
+    """G-tree's queue key for a node must lower-bound every object in it."""
+
+    def test_border_min_bounds_subtree_vertices(self, road400):
+        gtree = GTree(road400, tau=48)
+        query = 7
+        sssp = dijkstra_sssp(road400, query)
+        query_leaf = int(gtree.leaf_of[query])
+        cache = {}
+        for node in gtree.nodes:
+            if node.id == gtree.root or gtree.is_ancestor(node.id, query_leaf):
+                continue
+            d = gtree.distances_to_node_borders(query, node.id, cache)
+            if len(d) == 0:
+                continue
+            key = float(d.min())
+            for leaf in gtree.leaves():
+                if not (node.leaf_lo <= leaf.leaf_lo < node.leaf_hi):
+                    continue
+                for v in leaf.vertices[::11]:
+                    assert key <= float(sssp[v]) + 1e-9
+
+
+class TestKthUpperBoundTracker:
+    """DisBrw's Dk must be the k-th smallest bound over *distinct* objects."""
+
+    def test_basic(self):
+        t = _KthUpperBound(2)
+        t.offer(1, 10.0)
+        assert t.dk == float("inf")
+        t.offer(2, 5.0)
+        assert t.dk == 10.0
+        t.offer(3, 7.0)
+        assert t.dk == 7.0
+
+    def test_duplicate_object_improvements_do_not_overprune(self):
+        t = _KthUpperBound(2)
+        t.offer(1, 10.0)
+        t.offer(1, 8.0)
+        t.offer(1, 6.0)  # one object refined repeatedly
+        assert t.dk == float("inf")  # still only one distinct object
+        t.offer(2, 9.0)
+        assert t.dk == 9.0
+
+    def test_block_offer_requires_count(self):
+        t = _KthUpperBound(3)
+        t.offer_block(2, 4.0)  # fewer than k objects: no Dk
+        assert t.dk == float("inf")
+        t.offer_block(3, 4.0)
+        assert t.dk == 4.0
+        t.offer_block(5, 6.0)  # looser bound must not raise Dk
+        assert t.dk == 4.0
+
+    @given(
+        offers=st.lists(
+            st.tuples(st.integers(0, 6), st.floats(0, 100, allow_nan=False)),
+            max_size=40,
+        )
+    )
+    def test_matches_reference_semantics(self, offers):
+        k = 3
+        t = _KthUpperBound(k)
+        best = {}
+        for obj, ub in offers:
+            t.offer(obj, ub)
+            if obj not in best or ub < best[obj]:
+                best[obj] = ub
+        if len(best) >= k:
+            assert t.dk == pytest.approx(sorted(best.values())[k - 1])
+        else:
+            assert t.dk == float("inf")
+
+
+class TestVerifyKnnResult:
+    def test_accepts_tie_swaps(self):
+        a = [(1.0, 5), (2.0, 7)]
+        b = [(1.0, 9), (2.0, 7)]  # different vertex at same distance
+        assert verify_knn_result(a, b)
+
+    def test_rejects_length_mismatch(self):
+        assert not verify_knn_result([(1.0, 5)], [(1.0, 5), (2.0, 6)])
+
+    def test_rejects_distance_mismatch(self):
+        assert not verify_knn_result([(1.0, 5)], [(1.5, 5)])
+
+    def test_tolerance_scales_with_magnitude(self):
+        assert verify_knn_result([(1e12, 1)], [(1e12 * (1 + 1e-10), 1)])
+
+
+class TestTriangleInequalityOfOracles:
+    """Exact oracles must satisfy d(a,c) <= d(a,b) + d(b,c)."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_gtree_assembly_triangle(self, seed):
+        graph = delaunay_network(60, seed=seed)
+        gtree = GTree(graph, tau=16)
+        rng = np.random.default_rng(seed)
+        a, b, c = (int(v) for v in rng.integers(0, graph.num_vertices, 3))
+        dab = gtree.distance(a, b)
+        dbc = gtree.distance(b, c)
+        dac = gtree.distance(a, c)
+        assert dac <= dab + dbc + 1e-9
+        assert dac == pytest.approx(dijkstra_distance(graph, a, c))

@@ -1,0 +1,135 @@
+"""Object-set generator and object-index cost tests."""
+
+import numpy as np
+import pytest
+
+from repro.index.gtree import GTree
+from repro.index.road import RoadIndex
+from repro.objects import (
+    POI_CATEGORIES,
+    clustered_objects,
+    min_distance_object_sets,
+    poi_object_sets,
+    uniform_objects,
+)
+from repro.objects.indexes import object_index_costs
+from repro.pathfinding.bulk import bulk_sssp, network_center
+
+
+class TestUniform:
+    def test_density_controls_size(self, road400):
+        objs = uniform_objects(road400, 0.1, seed=0)
+        assert len(objs) == pytest.approx(road400.num_vertices * 0.1, abs=1)
+
+    def test_sorted_unique(self, road400):
+        objs = uniform_objects(road400, 0.2, seed=1)
+        assert np.all(np.diff(objs) > 0)
+
+    def test_minimum_enforced(self, road400):
+        objs = uniform_objects(road400, 0.0001, seed=0, minimum=7)
+        assert len(objs) == 7
+
+    def test_deterministic(self, road400):
+        a = uniform_objects(road400, 0.05, seed=3)
+        b = uniform_objects(road400, 0.05, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_density_validation(self, road400):
+        with pytest.raises(ValueError):
+            uniform_objects(road400, 0.0)
+        with pytest.raises(ValueError):
+            uniform_objects(road400, 1.5)
+
+
+class TestClustered:
+    def test_cluster_size_cap(self, road400):
+        objs = clustered_objects(road400, 5, max_cluster_size=3, seed=0)
+        assert len(objs) <= 5 * 3
+
+    def test_objects_are_vertices(self, road400):
+        objs = clustered_objects(road400, 10, seed=1)
+        assert objs.min() >= 0
+        assert objs.max() < road400.num_vertices
+
+    def test_more_clusters_more_objects(self, road400):
+        few = clustered_objects(road400, 3, seed=2)
+        many = clustered_objects(road400, 30, seed=2)
+        assert len(many) > len(few)
+
+    def test_rejects_zero_clusters(self, road400):
+        with pytest.raises(ValueError):
+            clustered_objects(road400, 0)
+
+
+class TestMinDistance:
+    def test_thresholds_hold(self, road400):
+        sets, pool, dmax = min_distance_object_sets(road400, 3, 8, seed=0)
+        vc = network_center(road400)
+        dist = bulk_sssp(road400, [vc])[0]
+        for i, objs in enumerate(sets, start=1):
+            threshold = dmax / (2 ** (3 - i + 1))
+            assert all(dist[o] >= threshold - 1e-9 for o in objs), i
+
+    def test_query_pool_close_to_center(self, road400):
+        sets, pool, dmax = min_distance_object_sets(road400, 3, 8, seed=0)
+        vc = network_center(road400)
+        dist = bulk_sssp(road400, [vc])[0]
+        assert all(dist[q] < dmax / 8 for q in pool)
+
+    def test_size_capped_by_eligible_vertices(self):
+        """The farthest band can hold few vertices; sizes cap gracefully."""
+        from repro.graph.graph import from_edge_list
+
+        g = from_edge_list(
+            [(float(i), 0.0) for i in range(4)],
+            [(i, i + 1, 1.0) for i in range(3)],
+        )
+        sets, _, _ = min_distance_object_sets(g, 2, 10, seed=0)
+        for objs in sets:
+            assert 1 <= len(objs) <= g.num_vertices
+
+    def test_increasing_i_raises_the_floor(self, road400):
+        """Each band's minimum object distance clears its threshold, and
+        the thresholds double from one band to the next."""
+        sets, _, dmax = min_distance_object_sets(road400, 4, 10, seed=1)
+        vc = network_center(road400)
+        dist = bulk_sssp(road400, [vc])[0]
+        for i, objs in enumerate(sets, start=1):
+            floor = min(float(dist[o]) for o in objs)
+            assert floor >= dmax / (2 ** (4 - i + 1)) - 1e-9
+
+
+class TestPoiSets:
+    def test_all_categories_present(self, road400):
+        sets = poi_object_sets(road400, seed=0)
+        assert set(sets) == {name for name, _, _ in POI_CATEGORIES}
+
+    def test_sizes_track_density_order(self, road400):
+        sets = poi_object_sets(road400, seed=0, minimum=1)
+        assert len(sets["schools"]) >= len(sets["courthouses"])
+
+    def test_minimum_enforced(self, road400):
+        sets = poi_object_sets(road400, seed=0, minimum=12)
+        assert all(len(objs) >= 8 for objs in sets.values())
+
+
+class TestObjectIndexCosts:
+    def test_costs_reported_for_all_indexes(self, road400, objects400):
+        gtree = GTree(road400, tau=48)
+        road = RoadIndex(road400, levels=3)
+        costs = object_index_costs(road400, gtree, road, objects400)
+        assert set(costs) == {
+            "ine", "rtree", "occurrence_list", "association_directory"
+        }
+        for name, row in costs.items():
+            assert row["size_bytes"] > 0, name
+            assert row["build_time_s"] >= 0, name
+
+    def test_ine_is_smallest(self, road400, objects400):
+        gtree = GTree(road400, tau=48)
+        road = RoadIndex(road400, levels=3)
+        costs = object_index_costs(road400, gtree, road, objects400)
+        assert costs["ine"]["size_bytes"] <= min(
+            costs["rtree"]["size_bytes"],
+            costs["occurrence_list"]["size_bytes"],
+        )

@@ -1,0 +1,89 @@
+"""Multilevel partitioner tests: coverage, balance, hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition import partition_graph, recursive_partition
+
+
+class TestPartitionGraph:
+    def test_parts_cover_and_disjoint(self, road400):
+        parts = partition_graph(road400, fanout=4, seed=0)
+        assert len(parts) == 4
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(road400.num_vertices))
+
+    def test_parts_roughly_balanced(self, road400):
+        parts = partition_graph(road400, fanout=4, seed=0)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes[0] >= road400.num_vertices / 4 * 0.5
+        assert sizes[-1] <= road400.num_vertices / 4 * 1.6
+
+    def test_cut_smaller_than_random(self, road400):
+        """The partitioner should beat a random assignment on cut edges."""
+        parts = partition_graph(road400, fanout=2, seed=0)
+        side = np.zeros(road400.num_vertices, dtype=int)
+        side[parts[1]] = 1
+
+        def cut(assign):
+            c = 0
+            for u, v, _ in road400.edge_list():
+                if assign[u] != assign[v]:
+                    c += 1
+            return c
+
+        rng = np.random.default_rng(0)
+        random_side = rng.integers(0, 2, road400.num_vertices)
+        assert cut(side) < cut(random_side) / 2
+
+    def test_subgraph_partition(self, road400):
+        vertices = np.arange(100)
+        parts = partition_graph(road400, vertices=vertices, fanout=2, seed=1)
+        assert np.array_equal(
+            np.sort(np.concatenate(parts)), vertices
+        )
+
+    def test_odd_fanout(self, road400):
+        parts = partition_graph(road400, fanout=3, seed=0)
+        assert len(parts) == 3
+        assert sum(len(p) for p in parts) == road400.num_vertices
+
+    def test_rejects_fanout_one(self, road400):
+        with pytest.raises(ValueError):
+            partition_graph(road400, fanout=1)
+
+
+class TestRecursivePartition:
+    def test_leaf_size_bound(self, road400):
+        tree = recursive_partition(road400, fanout=4, max_leaf_size=50)
+        leaves = tree.leaves()
+        assert all(len(leaf.vertices) <= 50 for leaf in leaves)
+        total = sum(len(leaf.vertices) for leaf in leaves)
+        assert total == road400.num_vertices
+
+    def test_level_bound(self, road400):
+        tree = recursive_partition(road400, fanout=4, max_levels=2)
+        def depth(node):
+            if node.is_leaf:
+                return node.level
+            return max(depth(c) for c in node.children)
+        assert depth(tree) <= 2
+
+    def test_requires_stopping_criterion(self, road400):
+        with pytest.raises(ValueError):
+            recursive_partition(road400, fanout=4)
+
+    def test_children_partition_parent(self, road400):
+        tree = recursive_partition(road400, fanout=4, max_leaf_size=80)
+
+        def check(node):
+            if node.is_leaf:
+                return
+            child_union = np.sort(
+                np.concatenate([c.vertices for c in node.children])
+            )
+            assert np.array_equal(child_union, np.sort(node.vertices))
+            for c in node.children:
+                check(c)
+
+        check(tree)

@@ -1,0 +1,137 @@
+"""SILC index tests: first hops, paths, intervals, chain optimisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import chain_heavy_network, delaunay_network
+from repro.index.silc import SILCIndex
+from repro.pathfinding.dijkstra import dijkstra_distance, dijkstra_sssp
+
+
+@pytest.fixture(scope="module")
+def silc400(road400):
+    return SILCIndex(road400)
+
+
+class TestFirstHop:
+    def test_first_hop_adjacent_and_on_shortest_path(self, road400, silc400):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            s, t = rng.integers(0, road400.num_vertices, 2)
+            s, t = int(s), int(t)
+            if s == t:
+                continue
+            h = silc400.first_hop(s, t)
+            w = road400.edge_weight_between(s, h)
+            assert w is not None
+            assert w + dijkstra_distance(road400, h, t) == pytest.approx(
+                dijkstra_distance(road400, s, t)
+            )
+
+    def test_first_hop_identity(self, silc400):
+        assert silc400.first_hop(5, 5) == 5
+
+
+class TestPath:
+    def test_path_distance_matches_dijkstra(self, road400, silc400, queries400):
+        for s in queries400[:4]:
+            sssp = dijkstra_sssp(road400, s)
+            for t in queries400[4:10]:
+                d, path = silc400.path(s, t)
+                assert d == pytest.approx(float(sssp[t]))
+                assert path[0] == s and path[-1] == t
+
+    def test_path_with_chains_same_distance(self, road400, silc400):
+        for s, t in [(0, 333 % road400.num_vertices), (40, 7)]:
+            d_plain = silc400.distance(s, t, use_chains=False)
+            d_chain = silc400.distance(s, t, use_chains=True)
+            assert d_plain == pytest.approx(d_chain)
+
+    def test_path_edges_exist(self, road400, silc400):
+        _, path = silc400.path(3, 250 % road400.num_vertices)
+        for u, v in zip(path, path[1:]):
+            assert road400.edge_weight_between(u, v) is not None
+
+
+class TestIntervals:
+    def test_interval_contains_true_distance(self, road400, silc400):
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            s, t = rng.integers(0, road400.num_vertices, 2)
+            s, t = int(s), int(t)
+            lb, ub = silc400.interval_from(s, t)
+            d = dijkstra_distance(road400, s, t)
+            assert lb - 1e-9 <= d <= ub + 1e-9
+
+    def test_interval_identity(self, silc400):
+        assert silc400.interval_from(9, 9) == (0.0, 0.0)
+
+    def test_refine_tightens_and_converges(self, road400, silc400):
+        s, t = 2, 377 % road400.num_vertices
+        true = dijkstra_distance(road400, s, t)
+        vn, d, prev = s, 0.0, -1
+        lb, ub = silc400.interval_from(s, t)
+        steps = 0
+        while vn != t:
+            vn, d, prev, lb2, ub2 = silc400.refine(vn, d, prev, t, use_chains=False)
+            assert lb2 - 1e-9 <= true <= ub2 + 1e-9
+            lb, ub = lb2, ub2
+            steps += 1
+            assert steps < road400.num_vertices
+        assert lb == pytest.approx(true)
+        assert ub == pytest.approx(true)
+
+    def test_refine_with_chains_converges(self, road400, silc400):
+        s, t = 11, 222 % road400.num_vertices
+        true = dijkstra_distance(road400, s, t)
+        vn, d, prev = s, 0.0, -1
+        while vn != t:
+            vn, d, prev, lb, ub = silc400.refine(vn, d, prev, t, use_chains=True)
+        assert d == pytest.approx(true)
+
+    def test_region_bounds_bracket_vertices(self, road400, silc400):
+        s = 0
+        sssp = dijkstra_sssp(road400, s)
+        lo_idx, hi_idx = 10, 60
+        lb, ub = silc400.region_bounds(s, lo_idx, hi_idx)
+        for pos in range(lo_idx, hi_idx):
+            v = int(silc400._order[pos])
+            if v == s:
+                continue
+            assert lb - 1e-9 <= float(sssp[v]) <= ub + 1e-9
+
+
+class TestChains:
+    def test_chain_heavy_network_paths(self):
+        graph = chain_heavy_network(250, seed=2, chain_fraction=0.8)
+        silc = SILCIndex(graph)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            s, t = rng.integers(0, graph.num_vertices, 2)
+            d = silc.distance(int(s), int(t), use_chains=True)
+            assert d == pytest.approx(dijkstra_distance(graph, int(s), int(t)))
+
+
+class TestBookkeeping:
+    def test_size_and_build_time(self, silc400):
+        assert silc400.build_time() > 0
+        assert silc400.size_bytes() > 0
+        assert silc400.average_blocks() > 1
+
+    def test_blocks_cover_all_positions(self, road400, silc400):
+        blocks = silc400._sources[0]
+        assert blocks.starts[0] == 0
+        assert np.all(np.diff(blocks.starts) > 0)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_exact_on_random_networks(self, seed):
+        graph = delaunay_network(70, seed=seed)
+        silc = SILCIndex(graph)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            s, t = rng.integers(0, graph.num_vertices, 2)
+            assert silc.distance(int(s), int(t)) == pytest.approx(
+                dijkstra_distance(graph, int(s), int(t))
+            )

@@ -1,0 +1,188 @@
+"""Morton code, R-tree and quadtree tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.morton import morton_decode, morton_encode, morton_encode_array
+from repro.spatial.quadtree import QuadTree
+from repro.spatial.rtree import RTree
+
+
+class TestMorton:
+    @given(st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_roundtrip(self, x, y):
+        assert morton_decode(morton_encode(x, y)) == (x, y)
+
+    def test_known_values(self):
+        assert morton_encode(0, 0) == 0
+        assert morton_encode(1, 0) == 1
+        assert morton_encode(0, 1) == 2
+        assert morton_encode(1, 1) == 3
+        assert morton_encode(2, 0) == 4
+
+    def test_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 1 << 16, 200)
+        ys = rng.integers(0, 1 << 16, 200)
+        codes = morton_encode_array(xs, ys)
+        for x, y, c in zip(xs, ys, codes):
+            assert int(c) == morton_encode(int(x), int(y))
+
+    def test_quadrant_locality(self):
+        """All codes in one quadrant form a contiguous range."""
+        codes = sorted(
+            morton_encode(x, y) for x in range(4) for y in range(4)
+        )
+        lower_left = sorted(
+            morton_encode(x, y) for x in range(2) for y in range(2)
+        )
+        assert lower_left == codes[:4]
+
+
+class TestRTree:
+    @pytest.fixture(scope="class")
+    def points(self):
+        rng = np.random.default_rng(1)
+        return rng.random((300, 2)) * 100
+
+    @pytest.fixture(scope="class")
+    def tree(self, points):
+        return RTree(points[:, 0], points[:, 1])
+
+    def test_knn_matches_brute_force(self, tree, points):
+        for qx, qy in [(0, 0), (50, 50), (99, 1)]:
+            got = tree.knn(qx, qy, 10)
+            truth = sorted(
+                (math.hypot(x - qx, y - qy), i)
+                for i, (x, y) in enumerate(points)
+            )[:10]
+            for (dg, ig), (dt, it) in zip(got, truth):
+                assert dg == pytest.approx(dt)
+
+    def test_cursor_yields_sorted_everything(self, tree, points):
+        cursor = tree.nearest_cursor(10.0, 10.0)
+        dists = [d for d, _ in cursor]
+        assert len(dists) == len(points)
+        assert dists == sorted(dists)
+
+    def test_cursor_suspend_resume(self, tree):
+        cursor = tree.nearest_cursor(0.0, 0.0)
+        first = [cursor.next() for _ in range(5)]
+        bound = cursor.peek_distance()
+        assert bound >= first[-1][0] - 1e-12
+        more = cursor.next()
+        assert more[0] >= first[-1][0]
+
+    def test_peek_is_lower_bound(self, tree):
+        cursor = tree.nearest_cursor(42.0, 17.0)
+        while True:
+            bound = cursor.peek_distance()
+            item = cursor.next()
+            if item is None:
+                break
+            assert item[0] >= bound - 1e-12
+
+    def test_custom_items(self):
+        tree = RTree([0.0, 1.0], [0.0, 0.0], items=[17, 42])
+        assert tree.knn(0.9, 0.0, 1)[0][1] == 42
+
+    def test_empty_tree(self):
+        tree = RTree([], [])
+        assert tree.knn(0, 0, 3) == []
+        assert tree.nearest_cursor(0, 0).next() is None
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RTree([0.0], [])
+
+    def test_size_bytes_positive(self, tree):
+        assert tree.size_bytes() > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pts=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=60,
+        ),
+        q=st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        k=st.integers(1, 8),
+    )
+    def test_knn_property(self, pts, q, k):
+        tree = RTree([p[0] for p in pts], [p[1] for p in pts])
+        got = tree.knn(q[0], q[1], k)
+        truth = sorted(
+            math.hypot(x - q[0], y - q[1]) for x, y in pts
+        )[: min(k, len(pts))]
+        assert [d for d, _ in got] == pytest.approx(truth)
+
+
+class TestQuadTree:
+    def test_colored_lookup(self):
+        rng = np.random.default_rng(2)
+        xs, ys = rng.random(200), rng.random(200)
+        colors = (xs > 0.5).astype(int)  # two spatial colour regions
+        qt = QuadTree.from_colored_points(xs, ys, colors)
+        correct = sum(
+            qt.color_at(float(x), float(y)) == c
+            for x, y, c in zip(xs, ys, colors)
+        )
+        assert correct == len(xs)
+
+    def test_skip_excludes_point(self):
+        xs = [0.0, 1.0, 2.0]
+        ys = [0.0, 0.0, 0.0]
+        colors = [9, 1, 1]
+        qt = QuadTree.from_colored_points(xs, ys, colors, skip=0)
+        # colour 9 never appears; the root compresses to a single colour.
+        assert qt.root.value == 1
+
+    def test_lambda_bounds(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [0.0] * 4
+        ratios = [1.0, 2.0, 0.5, 1.5]
+        qt = QuadTree.from_colored_points(xs, ys, [1] * 4, ratios=ratios)
+        assert qt.root.lam_minus == pytest.approx(0.5)
+        assert qt.root.lam_plus == pytest.approx(2.0)
+
+    def test_from_points_counts(self):
+        rng = np.random.default_rng(3)
+        xs, ys = rng.random(100), rng.random(100)
+        qt = QuadTree.from_points(xs, ys, leaf_capacity=8)
+        assert qt.root.count == 100
+        total = sum(len(b.points) for b in qt.leaves() if b.points)
+        assert total == 100
+        for leaf in qt.leaves():
+            if leaf.points:
+                assert len(leaf.points) <= 8 or leaf.size <= 2
+
+    def test_min_max_dist_bracket_points(self):
+        rng = np.random.default_rng(4)
+        xs, ys = rng.random(50) * 10, rng.random(50) * 10
+        qt = QuadTree.from_points(xs, ys, leaf_capacity=4)
+        q = (20.0, -3.0)
+        for leaf in qt.leaves():
+            if not leaf.points:
+                continue
+            lo = qt.min_dist(leaf, *q)
+            hi = qt.max_dist(leaf, *q)
+            for item in leaf.points:
+                d = math.hypot(xs[item] - q[0], ys[item] - q[1])
+                assert lo - 1e-9 <= d <= hi + 1e-9
+
+    def test_num_blocks_and_size(self):
+        rng = np.random.default_rng(5)
+        qt = QuadTree.from_points(rng.random(64), rng.random(64))
+        assert qt.num_blocks() >= 1
+        assert qt.size_bytes() > 0
+
+    def test_colliding_points_exceptions(self):
+        # Two points in the same cell with different colours.
+        xs = [0.5, 0.5, 3.0]
+        ys = [0.5, 0.5, 3.0]
+        colors = [1, 2, 1]
+        qt = QuadTree.from_colored_points(xs, ys, colors, grid_bits=2)
+        assert qt.color_at(3.0, 3.0) == 1

@@ -1,0 +1,171 @@
+"""Dynamic object updates (decoupled indexing) and path materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.index.gtree import GTree, OccurrenceList
+from repro.index.road import AssociationDirectory, RoadIndex
+from repro.index.silc import SILCIndex
+from repro.knn.base import verify_knn_result
+from repro.knn.distance_browsing import DistanceBrowsing
+from repro.knn.gtree_knn import GTreeKNN
+from repro.knn.ine import INE
+from repro.knn.paths import knn_with_paths, silc_paths_for_results
+from repro.knn.road_knn import RoadKNN
+
+
+@pytest.fixture(scope="module")
+def gtree400(road400):
+    return GTree(road400, tau=48)
+
+
+@pytest.fixture(scope="module")
+def road_index400(road400):
+    return RoadIndex(road400, levels=3)
+
+
+class TestOccurrenceListUpdates:
+    def test_add_then_query(self, road400, gtree400, objects400):
+        ol = OccurrenceList(gtree400, objects400)
+        new_object = next(
+            v for v in range(road400.num_vertices)
+            if v not in set(int(o) for o in objects400)
+        )
+        ol.add_object(new_object)
+        assert ol.is_object(new_object)
+        alg = GTreeKNN(gtree400, occurrence_list=ol)
+        expected = INE(road400, list(objects400) + [new_object])
+        for q in (0, 100, 250):
+            assert verify_knn_result(alg.knn(q, 5), expected.knn(q, 5))
+
+    def test_remove_then_query(self, road400, gtree400, objects400):
+        ol = OccurrenceList(gtree400, objects400)
+        removed = int(objects400[0])
+        ol.remove_object(removed)
+        assert not ol.is_object(removed)
+        remaining = [int(o) for o in objects400 if int(o) != removed]
+        alg = GTreeKNN(gtree400, occurrence_list=ol)
+        expected = INE(road400, remaining)
+        for q in (removed, 123):
+            assert verify_knn_result(alg.knn(q, 5), expected.knn(q, 5))
+
+    def test_remove_all_objects_in_leaf_prunes_ancestors(
+        self, road400, gtree400, objects400
+    ):
+        ol = OccurrenceList(gtree400, objects400)
+        for o in list(objects400):
+            ol.remove_object(int(o))
+        assert not ol.has_objects(gtree400.root)
+        alg = GTreeKNN(gtree400, occurrence_list=ol)
+        assert alg.knn(0, 3) == []
+
+    def test_add_idempotent(self, gtree400, objects400):
+        ol = OccurrenceList(gtree400, objects400)
+        before = len(ol.objects)
+        ol.add_object(int(objects400[0]))
+        assert len(ol.objects) == before
+
+    def test_remove_absent_noop(self, road400, gtree400, objects400):
+        ol = OccurrenceList(gtree400, objects400)
+        non_object = next(
+            v for v in range(road400.num_vertices)
+            if v not in set(int(o) for o in objects400)
+        )
+        ol.remove_object(non_object)
+        assert len(ol.objects) == len(objects400)
+
+    def test_update_churn_stays_consistent(self, road400, gtree400):
+        rng = np.random.default_rng(5)
+        current = set()
+        ol = OccurrenceList(gtree400, [])
+        for _ in range(120):
+            v = int(rng.integers(road400.num_vertices))
+            if v in current:
+                current.discard(v)
+                ol.remove_object(v)
+            else:
+                current.add(v)
+                ol.add_object(v)
+        assert sorted(int(o) for o in ol.objects) == sorted(current)
+        if current:
+            alg = GTreeKNN(gtree400, occurrence_list=ol)
+            expected = INE(road400, sorted(current))
+            assert verify_knn_result(alg.knn(7, 5), expected.knn(7, 5))
+
+
+class TestAssociationDirectoryUpdates:
+    def test_add_then_query(self, road400, road_index400, objects400):
+        ad = AssociationDirectory(road_index400, objects400)
+        new_object = next(
+            v for v in range(road400.num_vertices)
+            if v not in set(int(o) for o in objects400)
+        )
+        ad.add_object(new_object)
+        alg = RoadKNN(road_index400, directory=ad)
+        expected = INE(road400, list(objects400) + [new_object])
+        for q in (0, 333 % road400.num_vertices):
+            assert verify_knn_result(alg.knn(q, 5), expected.knn(q, 5))
+
+    def test_remove_clears_rnet_occupancy(self, road400, road_index400):
+        only = [5]
+        ad = AssociationDirectory(road_index400, only)
+        assert ad.rnet_has_object(road_index400.root)
+        ad.remove_object(5)
+        assert not ad.rnet_has_object(road_index400.root)
+        assert RoadKNN(road_index400, directory=ad).knn(0, 3) == []
+
+    def test_counts_survive_churn(self, road400, road_index400):
+        rng = np.random.default_rng(6)
+        current = set()
+        ad = AssociationDirectory(road_index400, [])
+        for _ in range(100):
+            v = int(rng.integers(road400.num_vertices))
+            if v in current:
+                current.discard(v)
+                ad.remove_object(v)
+            else:
+                current.add(v)
+                ad.add_object(v)
+        assert ad.rnet_has_object(road_index400.root) == bool(current)
+        if current:
+            alg = RoadKNN(road_index400, directory=ad)
+            expected = INE(road400, sorted(current))
+            assert verify_knn_result(alg.knn(11, 4), expected.knn(11, 4))
+
+
+class TestPathMaterialisation:
+    def test_paths_match_distances(self, road400, objects400):
+        alg = INE(road400, objects400)
+        results = knn_with_paths(road400, alg, 3, 5)
+        assert len(results) == 5
+        for distance, obj, path in results:
+            assert path[0] == 3
+            assert path[-1] == obj
+            total = sum(
+                road400.edge_weight_between(u, v)
+                for u, v in zip(path, path[1:])
+            )
+            assert total == pytest.approx(distance)
+
+    def test_paths_via_gtree_results(self, road400, gtree400, objects400):
+        alg = GTreeKNN(gtree400, objects400)
+        results = knn_with_paths(road400, alg, 42, 3)
+        assert [obj for _, obj, _ in results] == [
+            obj for _, obj in alg.knn(42, 3)
+        ]
+
+    def test_silc_paths(self, road400, objects400):
+        silc = SILCIndex(road400)
+        alg = DistanceBrowsing(silc, objects400)
+        results = alg.knn(9, 4)
+        with_paths = silc_paths_for_results(silc, 9, results)
+        for (d, obj), (d2, obj2, path) in zip(results, with_paths):
+            assert obj == obj2
+            assert d == pytest.approx(d2)
+            assert path[0] == 9 and path[-1] == obj
+
+    def test_query_on_object_path(self, road400, objects400):
+        alg = INE(road400, objects400)
+        q = int(objects400[0])
+        results = knn_with_paths(road400, alg, q, 1)
+        assert results[0][2] == [q]

@@ -1,0 +1,128 @@
+"""BitArray, Counters and cache-simulator tests."""
+
+import pytest
+
+from repro.utils.bitset import BitArray
+from repro.utils.cachesim import AddressTraceRecorder, CacheHierarchy, CacheLevel
+from repro.utils.counters import Counters, NULL_COUNTERS
+
+
+class TestBitArray:
+    def test_initially_clear(self):
+        b = BitArray(10)
+        assert len(b) == 10
+        assert not any(b.get(i) for i in range(10))
+
+    def test_set_get_unset(self):
+        b = BitArray(8)
+        b.set(3)
+        assert b.get(3)
+        assert 3 in b
+        b.unset(3)
+        assert not b.get(3)
+
+    def test_add_alias(self):
+        b = BitArray(4)
+        b.add(2)
+        assert b.get(2)
+
+    def test_count_and_clear(self):
+        b = BitArray(16)
+        for i in (1, 5, 9):
+            b.set(i)
+        assert b.count() == 3
+        b.clear()
+        assert b.count() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitArray(-1)
+
+
+class TestCounters:
+    def test_accumulates(self):
+        c = Counters()
+        c.add("x")
+        c.add("x", 4)
+        assert c["x"] == 5
+        assert c["missing"] == 0
+
+    def test_disabled_records_nothing(self):
+        c = Counters(enabled=False)
+        c.add("x", 100)
+        assert c["x"] == 0
+
+    def test_null_counters_shared_and_disabled(self):
+        NULL_COUNTERS.add("noise", 3)
+        assert NULL_COUNTERS["noise"] == 0
+
+    def test_reset_and_as_dict(self):
+        c = Counters()
+        c.add("a", 2)
+        assert c.as_dict() == {"a": 2}
+        c.reset()
+        assert c.as_dict() == {}
+
+
+class TestCacheLevel:
+    def test_repeat_access_hits(self):
+        level = CacheLevel(size_bytes=1024)
+        assert not level.access(0)
+        assert level.access(8)  # same 64-byte line
+        assert level.hits == 1 and level.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        # Direct-ish cache: 2 sets x 2 ways of 64B lines = 256B.
+        level = CacheLevel(size_bytes=256, associativity=2)
+        lines = [0, 256, 512, 768]  # all map to set 0 or overlap sets
+        for addr in lines:
+            level.access(addr)
+        # Re-access the first: with 2-way sets and 4 distinct lines mapping
+        # into 2 sets, the oldest in its set was evicted or retained
+        # depending on the mapping; at minimum the stats are consistent.
+        assert level.hits + level.misses == 4
+
+    def test_lru_order(self):
+        level = CacheLevel(size_bytes=128, line_bytes=64, associativity=2)
+        # one set, two ways
+        level.access(0)
+        level.access(64 * level.n_sets)  # same set, second way
+        level.access(0)  # refresh line 0
+        level.access(2 * 64 * level.n_sets)  # evicts the LRU (second line)
+        assert level.access(0)  # line 0 must still be cached
+
+    def test_sequential_locality_beats_random(self):
+        seq = CacheHierarchy()
+        rand = CacheHierarchy()
+        seq_stats = seq.replay(range(0, 64 * 4000, 8))
+        import random
+
+        rng = random.Random(0)
+        rand_stats = rand.replay(
+            rng.randrange(0, 1 << 26) for _ in range(4000 * 8)
+        )
+        assert seq_stats["L1_misses"] < rand_stats["L1_misses"] / 3
+
+
+class TestCacheHierarchy:
+    def test_inclusion(self):
+        h = CacheHierarchy()
+        h.access(0)
+        assert h.access(0) == 0  # L1 hit on the second access
+
+    def test_stats_keys(self):
+        h = CacheHierarchy()
+        h.access(0)
+        stats = h.stats()
+        assert set(stats) == {
+            "L1_hits", "L1_misses", "L2_hits", "L2_misses", "L3_hits", "L3_misses"
+        }
+
+
+class TestAddressTraceRecorder:
+    def test_records(self):
+        rec = AddressTraceRecorder()
+        rec.touch(100)
+        rec.touch(200, instructions=3)
+        assert len(rec) == 2
+        assert rec.instructions == 4
