@@ -29,10 +29,10 @@ def test_fig04_shape(benchmark, nw):
     # average; Dijkstra loses by >10x at every k.
     labels = ("Dijk", "MGtree", "PHL", "TNR", "CH")
     for k in KS:
-        assert by_k.at("PHL", k) <= 1.1 * min(by_k.at(l, k) for l in labels)
+        assert by_k.at("PHL", k) <= 1.1 * min(by_k.at(name, k) for name in labels)
         assert by_k.at("Dijk", k) > 5 * by_k.at("PHL", k)
     assert by_k.at("Dijk", 10) > 10 * by_k.at("PHL", 10)
-    assert by_k.mean("PHL") == min(by_k.mean(l) for l in labels)
+    assert by_k.mean("PHL") == min(by_k.mean(name) for name in labels)
     # MGtree is the runner-up on average.
     assert by_k.mean("MGtree") < by_k.mean("TNR")
     assert by_k.mean("MGtree") < by_k.mean("CH")

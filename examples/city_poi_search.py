@@ -5,16 +5,17 @@ index shared across many POI categories (decoupled indexing), with small
 per-category object indexes that are cheap to build and swap at query
 time.
 
-The script builds the road network index once, then serves kNN queries
-against several POI categories, reporting per-category object-index costs
-(the paper's Section 7.4 measurement) and query times.
+The script builds one :class:`repro.QueryEngine` per POI category over a
+*shared* index cache (``engine.with_objects``), so the road-network
+indexes are built once and only the tiny object indexes differ — the
+paper's Section 7.4 measurement — then serves kNN queries per category.
 
 Run:  python examples/city_poi_search.py
 """
 
 import time
 
-from repro import GTree, GTreeKNN, HubLabels, IER, INE, RoadIndex, road_network
+from repro import QueryEngine, road_network, verify_knn_result
 from repro.index.gtree import OccurrenceList
 from repro.objects import poi_object_sets
 from repro.objects.indexes import object_index_costs
@@ -24,11 +25,14 @@ def main() -> None:
     graph = road_network(3000, seed=11)
     print(f"road network: {graph}")
 
-    # Road-network indexes: built once, reused for every POI category.
+    # Road-network indexes: built once (inside the engine's shared index
+    # cache), reused for every POI category.
+    engine = QueryEngine(graph, [])
+    bench = engine.workbench
     start = time.perf_counter()
-    gtree = GTree(graph)
-    road = RoadIndex(graph)
-    labels = HubLabels(graph)
+    gtree = bench.gtree
+    road = bench.road
+    labels = bench.hub_labels
     print(
         f"road-network indexes built in {time.perf_counter() - start:.1f}s "
         f"(G-tree {gtree.size_bytes() / 1024:.0f} KB, "
@@ -45,15 +49,14 @@ def main() -> None:
         costs = object_index_costs(graph, gtree, road, objects)
         build_us = costs["occurrence_list"]["build_time_s"] * 1e6
 
-        # Swap in this category's object index and query.
-        alg = IER(graph, objects, labels)
-        start = time.perf_counter()
-        result = alg.knn(query, k)
-        elapsed_us = (time.perf_counter() - start) * 1e6
+        # Swap in this category's object set: same shared road indexes,
+        # fresh (tiny) object index.
+        category_engine = engine.with_objects(objects)
+        result = category_engine.query(query, k, method="ier-phl")
         shown = ", ".join(f"v{v}@{d:.1f}" for d, v in result)
         print(
             f"{category:14} {len(objects):>5} {build_us:>13.0f} us "
-            f"{elapsed_us:>9.0f}   [{shown}]"
+            f"{result.time_us:>9.0f}   [{shown}]"
         )
 
     # Decoupled indexing at work: updating one category's objects only
@@ -69,11 +72,10 @@ def main() -> None:
 
     # Sanity: IER agrees with plain INE (distances compared with a float
     # tolerance — different methods sum edge weights in different orders).
-    from repro import verify_knn_result
-
+    hospital_engine = engine.with_objects(hospitals)
     assert verify_knn_result(
-        IER(graph, hospitals, labels).knn(query, k),
-        INE(graph, hospitals).knn(query, k),
+        hospital_engine.query(query, k, method="ier-phl").as_tuples(),
+        hospital_engine.query(query, k, method="ine").as_tuples(),
         rel_tol=1e-9,
     )
     print("IER results verified against INE.")

@@ -3,21 +3,23 @@
 Builds every road-network index on one network, measures construction
 time, memory and mean query time at several densities, and prints a
 ranking table — the decision matrix the paper's conclusions give to
-practitioners.
+practitioners.  The engine's ``method="auto"`` planner encodes the same
+matrix's headline row, shown at the end.
 
 Run:  python examples/index_tradeoffs.py
 """
 
 import time
 
-from repro import road_network, uniform_objects
-from repro.experiments.runner import Workbench, measure_query_time, random_queries
+from repro import QueryEngine, road_network, uniform_objects
+from repro.experiments.runner import measure_query_time, random_queries
 from repro.experiments.tables import format_table5, table5_ranking
 
 
 def main() -> None:
     graph = road_network(2000, seed=31, name="demo")
-    workbench = Workbench(graph)
+    engine = QueryEngine(graph, [])
+    workbench = engine.workbench
     print(f"network: {graph}\n")
 
     # Force-build all indexes and report preprocessing costs.
@@ -39,17 +41,30 @@ def main() -> None:
     # Query time per method across sparse / typical / dense object sets.
     print(f"\n{'method':10} " + "".join(f"{d:>12}" for d in (0.001, 0.01, 0.1)))
     queries = random_queries(graph, 25, seed=5)
-    for method in workbench.available_methods():
+    density_engines = {
+        density: engine.with_objects(
+            uniform_objects(graph, density, seed=1, minimum=10)
+        )
+        for density in (0.001, 0.01, 0.1)
+    }
+    for method in engine.available_methods():
         cells = []
-        for density in (0.001, 0.01, 0.1):
-            objects = uniform_objects(graph, density, seed=1, minimum=10)
-            alg = workbench.make(method, objects)
+        for density, dense_engine in density_engines.items():
+            alg = dense_engine.algorithm(method)
             cells.append(measure_query_time(alg, queries, 10))
         print(f"{method:10} " + "".join(f"{c:>10.0f}us" for c in cells))
 
-    # The full criteria ranking.
+    # What would the auto planner run?
+    planned = {
+        density: e.plan(k=10) for density, e in density_engines.items()
+    }
+    print("\nauto planner choice per density: " + ", ".join(
+        f"{d} -> {m}" for d, m in planned.items()
+    ))
+
+    # The full criteria ranking (accepts the engine directly).
     print()
-    print(format_table5(table5_ranking(workbench, num_queries=15)))
+    print(format_table5(table5_ranking(engine, num_queries=15)))
     print(
         "\nreading guide: IER with the best oracle wins queries almost "
         "everywhere;\nINE wins preprocessing (no index) and very dense "

@@ -1,28 +1,15 @@
-"""Quickstart: answer kNN queries on a road network five different ways.
+"""Quickstart: serve kNN queries through the unified QueryEngine.
 
 Builds a synthetic road network, drops a set of points of interest on it,
-and answers the same k-nearest-neighbour query with each of the paper's
-five methods — demonstrating that they agree exactly while costing very
-different amounts of work.
+and answers the same k-nearest-neighbour query through every registered
+method via one :class:`repro.QueryEngine` — demonstrating that they agree
+exactly while costing very different amounts of work, and that the
+engine's planner picks a sensible method on its own.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DistanceBrowsing,
-    GTree,
-    GTreeKNN,
-    GTreeOracle,
-    HubLabels,
-    IER,
-    INE,
-    RoadIndex,
-    RoadKNN,
-    SILCIndex,
-    road_network,
-    uniform_objects,
-)
-from repro.utils.counters import Counters
+from repro import QueryEngine, road_network, uniform_objects
 
 
 def main() -> None:
@@ -36,43 +23,57 @@ def main() -> None:
     objects = uniform_objects(graph, density=0.01, seed=1)
     print(f"objects: {len(objects)} POIs\n")
 
+    # One engine binds the network's (lazily built, shared) indexes to
+    # the object set; every registered method is served through it.
+    engine = QueryEngine(graph, objects)
     query, k = 42, 5
 
-    # 1. INE: Dijkstra-style expansion (no road-network index).
-    ine = INE(graph, objects)
+    # method="auto": the planner reads the workload's object density and
+    # picks INE (dense) or an IER/G-tree method (sparse).
+    auto = engine.query(query, k)
+    print(f"auto-planned method for density {engine.density:.3f}: {auto.method}\n")
 
-    # 2. G-tree: partition hierarchy with distance-matrix assembly.
-    gtree = GTree(graph)
-    gtree_knn = GTreeKNN(gtree, objects)
-
-    # 3. ROAD: Rnet hierarchy with shortcut-based bypassing.
-    road = RoadIndex(graph)
-    road_knn = RoadKNN(road, objects)
-
-    # 4. Distance Browsing over the SILC path oracle.
-    silc = SILCIndex(graph)
-    disbrw = DistanceBrowsing(silc, objects)
-
-    # 5. IER — the paper's revived method — with two oracles:
-    #    hub labels (the PHL stand-in) and materialized G-tree.
-    ier_phl = IER(graph, objects, HubLabels(graph))
-    ier_gt = IER(graph, objects, GTreeOracle(gtree))
-
-    methods = [ine, gtree_knn, road_knn, disbrw, ier_phl, ier_gt]
+    # explain() runs every method on the same query; each KNNResult
+    # carries the method name, wall time and its internal counters.
     print(f"k={k} nearest objects from vertex {query}:")
     reference = None
-    for alg in methods:
-        counters = Counters()
-        result = alg.knn(query, k, counters=counters)
+    for method, result in engine.explain(query, k).items():
         distances = ", ".join(f"{d:.2f}" for d, _ in result)
-        print(f"  {alg.name:12} -> [{distances}]  {counters.as_dict()}")
+        print(
+            f"  {method:12} -> [{distances}]  "
+            f"{result.time_us:7.0f}us  {result.counters.as_dict()}"
+        )
         if reference is None:
-            reference = [d for d, _ in result]
+            reference = result.distances
         else:
             assert all(
-                abs(a - b) < 1e-6 for a, b in zip(reference, (d for d, _ in result))
-            ), f"{alg.name} disagrees!"
+                abs(a - b) < 1e-6 for a, b in zip(reference, result.distances)
+            ), f"{method} disagrees!"
     print("\nall methods agree.")
+
+    # Batched workloads reuse the indexes and algorithm instances — the
+    # unit the paper's figures time.
+    workload = range(0, graph.num_vertices, 100)
+    results = engine.batch(workload, k=k)
+    mean_us = sum(r.time_us for r in results) / len(results)
+    print(f"\nbatch of {len(results)} queries: {mean_us:.0f}us/query mean")
+
+    # Results still behave like the raw [(distance, vertex), ...] lists.
+    first = results[0]
+    distance, vertex = first[0]
+    assert (distance, vertex) == first.as_tuples()[0]
+
+    # Adding a sixth method is one decorated builder — see
+    # repro/engine/registry.py:
+    #
+    #     from repro import register_method
+    #
+    #     @register_method("mymethod", summary="my kNN method",
+    #                      requires=("gtree",))
+    #     def _build(bench, objects, **kwargs):
+    #         return MyKNN(bench.gtree, objects, **kwargs)
+    #
+    # after which engine.query(q, k, method="mymethod") just works.
 
 
 if __name__ == "__main__":

@@ -4,21 +4,13 @@ The same road network carries two edge-weight kinds: physical distance
 and travel time under road-class speeds.  The nearest POI by distance is
 often not the nearest by time (a motorway detour wins), and the Euclidean
 lower bound IER relies on weakens on time weights — both effects are
-shown here.
+shown here, served through one :class:`repro.QueryEngine` per weight
+kind.
 
 Run:  python examples/travel_time_routing.py
 """
 
-from repro import (
-    GTree,
-    GTreeKNN,
-    HubLabels,
-    IER,
-    INE,
-    road_network,
-    travel_time_weights,
-    uniform_objects,
-)
+from repro import QueryEngine, road_network, travel_time_weights, uniform_objects
 from repro.utils.counters import Counters
 
 
@@ -33,14 +25,16 @@ def main() -> None:
     objects = uniform_objects(distance_graph, density=0.005, seed=2)
     k = 3
 
+    # One engine per weight kind; each caches its own indexes.
+    by_distance = QueryEngine(distance_graph, objects)
+    by_time = QueryEngine(time_graph, objects)
+
     # How often does the nearest POI differ between the two metrics?
-    by_distance = INE(distance_graph, objects)
-    by_time = INE(time_graph, objects)
     differing = 0
     queries = range(0, distance_graph.num_vertices, 97)
     for q in queries:
-        nn_d = by_distance.knn(q, 1)[0][1]
-        nn_t = by_time.knn(q, 1)[0][1]
+        nn_d = by_distance.query(q, 1, method="ine").vertices[0]
+        nn_t = by_time.query(q, 1, method="ine").vertices[0]
         differing += nn_d != nn_t
     total = len(list(queries))
     print(
@@ -50,34 +44,32 @@ def main() -> None:
 
     # IER on time weights: exact, but with more false hits because the
     # scaled Euclidean bound is looser.
-    labels_d = HubLabels(distance_graph)
-    labels_t = HubLabels(time_graph)
-    ier_d = IER(distance_graph, objects, labels_d)
-    ier_t = IER(time_graph, objects, labels_t)
     counters_d, counters_t = Counters(), Counters()
     for q in range(0, distance_graph.num_vertices, 211):
-        rd = ier_d.knn(q, k, counters=counters_d)
-        rt = ier_t.knn(q, k, counters=counters_t)
-        assert [v for _, v in rd] == [v for _, v in INE(
-            distance_graph, objects).knn(q, k)]
-        assert [v for _, v in rt] == [v for _, v in by_time.knn(q, k)]
+        rd = by_distance.query(q, k, method="ier-phl", counters=counters_d)
+        rt = by_time.query(q, k, method="ier-phl", counters=counters_t)
+        assert rd.vertices == by_distance.query(q, k, method="ine").vertices
+        assert rt.vertices == by_time.query(q, k, method="ine").vertices
     print("IER network-distance computations per workload:")
     print(f"  travel distance: {counters_d['ier_network_computations']}")
     print(f"  travel time:     {counters_t['ier_network_computations']} "
           "(more false hits, as in the paper)\n")
 
     # Hub labels shrink on travel time (stronger hierarchy).
+    labels_d = by_distance.workbench.hub_labels
+    labels_t = by_time.workbench.hub_labels
     print("average hub-label size:")
     print(f"  travel distance: {labels_d.average_label_size():.1f}")
     print(f"  travel time:     {labels_t.average_label_size():.1f}")
 
-    # G-tree works unchanged on either weight kind.
-    gtree_t = GTree(time_graph)
-    alg = GTreeKNN(gtree_t, objects)
+    # G-tree works unchanged on either weight kind — and the engine can
+    # attach the actual route to each result.
     q = 77
-    result = alg.knn(q, k)
-    shown = ", ".join(f"v{v} ({d:.2f} time units)" for d, v in result)
+    result = by_time.query(q, k, method="gtree", with_paths=True)
+    shown = ", ".join(f"v{n.vertex} ({n.distance:.2f} time units)" for n in result)
     print(f"\nG-tree kNN by travel time from v{q}: [{shown}]")
+    best = result[0]
+    print(f"fastest route to v{best.vertex}: {len(best.path)} vertices")
 
 
 if __name__ == "__main__":

@@ -13,15 +13,40 @@ Journey in Experimentation and In-Memory Implementation* (PVLDB 9(6)):
 * workload generators and the experiment harness regenerating every
   table and figure of the paper's evaluation at laptop scale.
 
-Quickstart::
+Quickstart — the :class:`QueryEngine` service layer is the primary API::
 
-    from repro import road_network, uniform_objects, INE
+    from repro import QueryEngine, road_network, uniform_objects
 
     graph = road_network(2000, seed=7)
     objects = uniform_objects(graph, density=0.01, seed=1)
-    print(INE(graph, objects).knn(query=0, k=5))
+    engine = QueryEngine(graph, objects)
+
+    result = engine.query(0, k=5)        # method="auto": planner picks one
+    print(result.method, result.time_us) # provenance + timing
+    for distance, vertex in result:      # iterates as (distance, vertex)
+        print(vertex, distance)
+
+    engine.batch(range(100), k=5)        # a workload, indexes built once
+    engine.explain(0, k=5)               # every method + its counters
+
+Every method lives in a pluggable registry — ``@register_method("name")``
+adds a sixth method that immediately works in the engine, the CLI and the
+experiment harness (see :mod:`repro.engine.registry`).  The underlying
+algorithm classes (``INE(graph, objects).knn(0, 5)``, ...) remain public
+for direct use.
 """
 
+from repro.engine import (
+    IndexCache,
+    KNNQuery,
+    KNNResult,
+    MethodUnavailable,
+    Neighbor,
+    QueryEngine,
+    UnknownMethod,
+    known_methods,
+    register_method,
+)
 from repro.graph import (
     Graph,
     GraphBuilder,
@@ -65,9 +90,18 @@ from repro.pathfinding import (
     TransitNodeRouting,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "QueryEngine",
+    "KNNQuery",
+    "KNNResult",
+    "Neighbor",
+    "IndexCache",
+    "register_method",
+    "known_methods",
+    "MethodUnavailable",
+    "UnknownMethod",
     "Graph",
     "GraphBuilder",
     "grid_network",

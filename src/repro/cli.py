@@ -5,8 +5,14 @@ Examples::
     # generate a network, drop objects, answer one query with every method
     python -m repro query --vertices 2000 --density 0.01 --k 5 --query 42
 
+    # let the engine's planner pick the method for the workload
+    python -m repro query --vertices 2000 --methods auto
+
     # compare method timings at several densities
     python -m repro compare --vertices 2000 --k 10
+
+    # list every registered kNN method
+    python -m repro methods
 
     # dataset statistics for a DIMACS file
     python -m repro info --gr network.gr --co network.co
@@ -16,15 +22,20 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import (
+    MethodUnavailable,
+    QueryEngine,
+    known_methods,
+    method_specs,
+)
 from repro.experiments.runner import Workbench, measure_query_time, random_queries
 from repro.graph.dimacs import load_dimacs
 from repro.graph.generators import road_network, travel_time_weights
 from repro.objects import uniform_objects
-from repro.utils.counters import Counters
 
 
 def _build_graph(args: argparse.Namespace):
@@ -37,48 +48,112 @@ def _build_graph(args: argparse.Namespace):
     return graph
 
 
+def _validate_methods(methods: Optional[Sequence[str]]) -> Optional[str]:
+    """Return an error message for the first unknown method, else None.
+
+    ``"auto"`` is accepted everywhere a method name is: the engine's
+    planner resolves it per workload.
+    """
+    known = known_methods()
+    for name in methods or ():
+        if name != "auto" and name not in known:
+            return (
+                f"unknown method {name!r}; known methods: "
+                f"{', '.join(['auto'] + known)}"
+            )
+    return None
+
+
 def cmd_query(args: argparse.Namespace) -> int:
+    error = _validate_methods(args.methods)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     graph = _build_graph(args)
-    workbench = Workbench(graph)
     objects = uniform_objects(graph, args.density, seed=args.seed, minimum=args.k)
+    engine = QueryEngine(graph, objects)
     query = args.query if args.query is not None else graph.num_vertices // 2
     print(f"{graph}, |O|={len(objects)}, query={query}, k={args.k}")
-    methods = args.methods or workbench.available_methods()
+    methods = args.methods or engine.available_methods()
     reference: Optional[List[float]] = None
+    reference_method: Optional[str] = None
+    ran = 0
     for method in methods:
-        alg = workbench.make(method, objects)
-        counters = Counters()
-        result = alg.knn(query, args.k, counters=counters)
-        distances = [d for d, _ in result]
-        shown = ", ".join(f"v{v}@{d:.2f}" for d, v in result)
-        print(f"  {method:10} [{shown}]")
+        try:
+            result = engine.query(query, args.k, method=method)
+        except MethodUnavailable as exc:
+            print(f"  {method:10} unavailable: {exc.reason}", file=sys.stderr)
+            continue
+        ran += 1
+        shown = ", ".join(f"v{n.vertex}@{n.distance:.2f}" for n in result)
+        label = result.method if method == "auto" else method
+        print(f"  {label:10} [{shown}]  ({result.time_us:.0f}us)")
         if reference is None:
-            reference = distances
-        elif not np.allclose(reference, distances, rtol=1e-9):
-            print(f"  !! {method} disagrees with {methods[0]}", file=sys.stderr)
+            reference = result.distances
+            reference_method = label
+        elif not np.allclose(reference, result.distances, rtol=1e-9):
+            print(f"  !! {label} disagrees with {reference_method}", file=sys.stderr)
             return 1
+    if ran == 0:
+        print("no runnable methods", file=sys.stderr)
+        return 1
     print("all methods agree")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    error = _validate_methods(args.methods)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     graph = _build_graph(args)
-    workbench = Workbench(graph)
+    engine = QueryEngine(graph, [])
     queries = random_queries(graph, args.queries, seed=args.seed)
-    methods = args.methods or workbench.available_methods()
+    methods = args.methods or engine.available_methods()
     densities = args.densities or [0.001, 0.01, 0.1]
     header = f"{'method':10}" + "".join(f"{d:>12}" for d in densities)
     print(f"{graph}, k={args.k}, {args.queries} queries/cell")
     print(header)
+    per_density = {
+        density: engine.with_objects(
+            uniform_objects(graph, density, seed=args.seed, minimum=args.k)
+        )
+        for density in densities
+    }
     for method in methods:
         row = f"{method:10}"
         for density in densities:
-            objects = uniform_objects(
-                graph, density, seed=args.seed, minimum=args.k
-            )
-            alg = workbench.make(method, objects)
+            dense_engine = per_density[density]
+            try:
+                resolved = dense_engine.resolve_method(method, args.k)
+                alg = dense_engine.algorithm(resolved)
+            except MethodUnavailable:
+                row += f"{'n/a':>12}"
+                continue
             row += f"{measure_query_time(alg, queries, args.k):>10.0f}us"
         print(row)
+    return 0
+
+
+def cmd_methods(args: argparse.Namespace) -> int:
+    """List registered methods; with a graph, report applicability."""
+    bench = None
+    if args.vertices or getattr(args, "gr", None):
+        bench = Workbench(_build_graph(args))
+        print(f"availability on: {bench.graph}")
+    print(f"{'name':11} {'requires':22} summary")
+    for spec in method_specs():
+        requires = ",".join(spec.requires) or "-"
+        line = f"{spec.name:11} {requires:22} {spec.summary}"
+        if bench is not None:
+            reason = spec.availability(bench)
+            if reason is not None:
+                line += f"  [unavailable: {reason}]"
+        print(line)
+    print(
+        "\n'auto' is also accepted: the engine plans INE at high object "
+        "density and IER/G-tree at low density."
+    )
     return 0
 
 
@@ -100,8 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--vertices", type=int, default=2000,
+    def common(p: argparse.ArgumentParser, default_vertices: int = 2000) -> None:
+        p.add_argument("--vertices", type=int, default=default_vertices,
                        help="synthetic network size (ignored with --gr)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--gr", help="DIMACS .gr file instead of a synthetic network")
@@ -114,7 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--density", type=float, default=0.01)
     q.add_argument("--k", type=int, default=5)
     q.add_argument("--query", type=int, help="query vertex (default: centre id)")
-    q.add_argument("--methods", nargs="*", help="subset of methods to run")
+    q.add_argument("--methods", nargs="*",
+                   help="subset of methods to run ('auto' lets the engine pick)")
     q.set_defaults(func=cmd_query)
 
     c = sub.add_parser("compare", help="timing table across densities")
@@ -124,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--densities", nargs="*", type=float)
     c.add_argument("--methods", nargs="*")
     c.set_defaults(func=cmd_compare)
+
+    m = sub.add_parser("methods", help="list registered kNN methods")
+    common(m, default_vertices=0)
+    m.set_defaults(func=cmd_methods)
 
     i = sub.add_parser("info", help="dataset statistics")
     common(i)

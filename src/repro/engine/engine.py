@@ -1,0 +1,202 @@
+"""The :class:`QueryEngine` facade — the library's primary query API.
+
+One engine binds a road network (via a shared :class:`IndexCache`) to an
+object set and serves kNN queries through any registered method:
+
+    engine = QueryEngine(graph, objects)
+    result = engine.query(q, k=5)                  # planner picks a method
+    results = engine.batch(queries, k=5)           # amortised workload
+    reports = engine.explain(q, k=5)               # every method + counters
+
+Road-network indexes and per-method algorithm instances are built once
+and cached, so a batch pays construction cost once — the unit the paper
+times.  Swapping POI categories over the same network (the paper's
+decoupled-indexing argument) is ``engine.with_objects(new_objects)``,
+which shares the index cache and only rebuilds the tiny object indexes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.engine.planner import plan_method
+from repro.engine.query import (
+    KNNQuery,
+    KNNResult,
+    Neighbor,
+    as_queries,
+    normalise_query,
+)
+from repro.engine.registry import get_method
+from repro.engine.workbench import IndexCache
+from repro.graph.graph import Graph
+from repro.knn.base import KNNAlgorithm
+from repro.knn.paths import shortest_paths_to
+from repro.utils.counters import Counters
+
+
+class QueryEngine:
+    """Serve kNN queries over one road network and one object set.
+
+    Parameters
+    ----------
+    graph_or_workbench:
+        A :class:`Graph` (a fresh index cache is created for it) or an
+        existing :class:`IndexCache`/``Workbench`` to share indexes with.
+    objects:
+        Object vertex ids this engine answers queries against.
+    density_threshold:
+        Override for the auto planner's INE/IER crossover density.
+    """
+
+    def __init__(
+        self,
+        graph_or_workbench: Union[Graph, IndexCache, None] = None,
+        objects: Sequence[int] = (),
+        *,
+        workbench: Optional[IndexCache] = None,
+        seed: int = 0,
+        tau: Optional[int] = None,
+        road_levels: Optional[int] = None,
+        density_threshold: Optional[float] = None,
+    ) -> None:
+        if workbench is None:
+            if isinstance(graph_or_workbench, IndexCache):
+                workbench = graph_or_workbench
+            elif graph_or_workbench is not None:
+                workbench = IndexCache(
+                    graph_or_workbench, seed=seed, tau=tau, road_levels=road_levels
+                )
+            else:
+                raise ValueError("provide a graph or a workbench")
+        self.workbench = workbench
+        self.graph = workbench.graph
+        self.objects = [int(o) for o in objects]
+        self.density_threshold = density_threshold
+        self._algorithms: Dict[tuple, KNNAlgorithm] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def density(self) -> float:
+        """Object density |O| / |V| — the planner's main signal."""
+        return len(self.objects) / max(1, self.graph.num_vertices)
+
+    def available_methods(self, include_disbrw: bool = True) -> List[str]:
+        return self.workbench.available_methods(include_disbrw=include_disbrw)
+
+    def plan(self, k: int = 1) -> str:
+        """The method ``method="auto"`` would run for this workload."""
+        return plan_method(
+            self.graph,
+            self.objects,
+            k=k,
+            bench=self.workbench,
+            density_threshold=self.density_threshold,
+        )
+
+    def resolve_method(self, method: str = "auto", k: int = 1) -> str:
+        if method in (None, "auto"):
+            return self.plan(k)
+        get_method(method)  # raises UnknownMethod with the known list
+        return method
+
+    def algorithm(self, method: str, **kwargs) -> KNNAlgorithm:
+        """The cached algorithm instance for ``method`` (built on first use)."""
+        key = (method, tuple(sorted(kwargs.items())))
+        alg = self._algorithms.get(key)
+        if alg is None:
+            alg = self.workbench.make(method, self.objects, **kwargs)
+            self._algorithms[key] = alg
+        return alg
+
+    def with_objects(self, objects: Sequence[int]) -> "QueryEngine":
+        """A new engine over the same (shared) indexes, new object set."""
+        return QueryEngine(
+            workbench=self.workbench,
+            objects=objects,
+            density_threshold=self.density_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Union[int, KNNQuery],
+        k: Optional[int] = None,
+        method: Optional[str] = None,
+        *,
+        with_paths: Optional[bool] = None,
+        counters: Optional[Counters] = None,
+    ) -> KNNResult:
+        """Answer one kNN query, returning a structured :class:`KNNResult`.
+
+        ``query`` may be a vertex id (``k`` required, ``method`` defaults
+        to ``"auto"``) or a :class:`KNNQuery`, whose fields are used
+        unless explicitly overridden by these arguments.
+        """
+        q = normalise_query(query, k, method, with_paths)
+        resolved = self.resolve_method(q.method, q.k)
+        alg = self.algorithm(resolved)
+        c = counters if counters is not None else Counters()
+        start = time.perf_counter()
+        raw = alg.knn(q.vertex, q.k, counters=c)
+        elapsed = time.perf_counter() - start
+        paths: Dict[int, tuple] = {}
+        if q.with_paths:
+            paths = shortest_paths_to(
+                self.graph, q.vertex, [v for _, v in raw]
+            )
+        neighbors = tuple(
+            Neighbor(
+                float(d),
+                int(v),
+                path=tuple(paths[int(v)][1]) if int(v) in paths else None,
+            )
+            for d, v in raw
+        )
+        return KNNResult(
+            query=q, method=resolved, neighbors=neighbors, counters=c,
+            time_s=elapsed,
+        )
+
+    def batch(
+        self,
+        queries: Sequence[Union[int, KNNQuery]],
+        k: Optional[int] = None,
+        method: Optional[str] = None,
+        *,
+        with_paths: Optional[bool] = None,
+    ) -> List[KNNResult]:
+        """Answer a workload of queries, amortising index construction.
+
+        Queries sharing a method reuse one algorithm instance (and the
+        road-network indexes behind it), so the per-query cost converges
+        to pure search time — the quantity the paper's figures report.
+        Explicit ``k`` / ``method`` / ``with_paths`` override the fields
+        of any :class:`KNNQuery` entries.
+        """
+        normalized = as_queries(queries, k=k, method=method, with_paths=with_paths)
+        return [self.query(q) for q in normalized]
+
+    def explain(
+        self,
+        query: int,
+        k: int,
+        methods: Optional[Sequence[str]] = None,
+    ) -> Dict[str, KNNResult]:
+        """Run every (or the given) method on one query.
+
+        Each returned :class:`KNNResult` carries that method's counters
+        and wall-clock time — per-method cost profiles on identical
+        input, the paper's Section 7 methodology in one call.
+        """
+        if methods is None:
+            methods = self.available_methods()
+        return {
+            m: self.query(query, k, method=m, counters=Counters())
+            for m in methods
+        }

@@ -1,0 +1,49 @@
+"""Density-based auto method planner (``method="auto"``).
+
+Encodes the paper's headline finding (Figures 11/16/24): INE's expansion
+cost is proportional to the number of vertices closer than the k-th
+object, so it wins when objects are dense (the expansion stops almost
+immediately) and loses badly when they are sparse — where the
+Euclidean-restriction family with a fast oracle (IER over a materialized
+G-tree, "MGtree") dominates.  The crossover in the paper's experiments
+sits around one object per ~100 vertices; :data:`AUTO_DENSITY_THRESHOLD`
+is that boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.graph.graph import Graph
+
+#: Object density (|O| / |V|) at and above which INE is planned.
+AUTO_DENSITY_THRESHOLD = 0.01
+
+#: Low-density preference order; first one runnable on the workbench wins.
+LOW_DENSITY_METHODS = ("ier-gt", "gtree", "ier-phl", "ine")
+
+
+def plan_method(
+    graph: Graph,
+    objects: Sequence[int],
+    k: int = 1,
+    bench=None,
+    density_threshold: Optional[float] = None,
+) -> str:
+    """Pick a method name for this workload.
+
+    High density plans INE; low density plans the first runnable entry
+    of :data:`LOW_DENSITY_METHODS`.  ``bench`` (an index cache) is only
+    consulted for applicability; no index is built here.
+    """
+    threshold = (
+        AUTO_DENSITY_THRESHOLD if density_threshold is None else density_threshold
+    )
+    density = len(objects) / max(1, graph.num_vertices)
+    if density >= threshold:
+        return "ine"
+    if bench is not None:
+        for name in LOW_DENSITY_METHODS:
+            if bench.method_availability(name) is None:
+                return name
+    return LOW_DENSITY_METHODS[0]

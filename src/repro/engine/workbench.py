@@ -1,0 +1,143 @@
+"""Lazily built, shared index cache for one road network.
+
+``IndexCache`` owns every road-network index (G-tree, ROAD, SILC, CH, hub
+labels, TNR), building each at most once on first access — the paper's
+"same subroutines for common tasks" methodology.  Method construction
+itself delegates to the :mod:`repro.engine.registry`, so the cache knows
+nothing about individual kNN methods.
+
+``repro.experiments.runner.Workbench`` is a thin subclass kept for the
+experiment harness and back-compat imports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine import registry
+from repro.graph.graph import Graph
+from repro.index.gtree import GTree
+from repro.index.road import RoadIndex
+from repro.index.silc import SILCIndex
+from repro.knn.base import KNNAlgorithm
+from repro.pathfinding.ch import ContractionHierarchy
+from repro.pathfinding.hub_labels import HubLabels
+from repro.pathfinding.tnr import TransitNodeRouting
+
+#: SILC requires all-pairs work; like the paper (which could build DisBrw
+#: only on the five smallest datasets) we cap the network size it is
+#: built for.
+SILC_MAX_VERTICES = 9000
+
+
+def as_index_cache(bench_or_engine):
+    """Coerce a ``QueryEngine`` (anything holding ``.workbench``) or an
+    :class:`IndexCache`/``Workbench`` to the underlying index cache."""
+    return getattr(bench_or_engine, "workbench", bench_or_engine)
+
+
+class IndexCache:
+    """Lazily built index collection for one road network."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        tau: Optional[int] = None,
+        road_levels: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.seed = seed
+        self._tau = tau
+        self._road_levels = road_levels
+        self._gtree: Optional[GTree] = None
+        self._road: Optional[RoadIndex] = None
+        self._silc: Optional[SILCIndex] = None
+        self._ch: Optional[ContractionHierarchy] = None
+        self._hub_labels: Optional[HubLabels] = None
+        self._tnr: Optional[TransitNodeRouting] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def gtree(self) -> GTree:
+        if self._gtree is None:
+            self._gtree = GTree(self.graph, tau=self._tau, seed=self.seed)
+        return self._gtree
+
+    @property
+    def road(self) -> RoadIndex:
+        if self._road is None:
+            self._road = RoadIndex(
+                self.graph, levels=self._road_levels, seed=self.seed
+            )
+        return self._road
+
+    def _silc_limit(self) -> int:
+        """Overridable hook so subclasses can point at their own cap."""
+        return SILC_MAX_VERTICES
+
+    @property
+    def silc_limit(self) -> int:
+        return self._silc_limit()
+
+    @property
+    def silc(self) -> SILCIndex:
+        if self._silc is None:
+            if self.graph.num_vertices > self.silc_limit:
+                raise MemoryError(
+                    f"SILC capped at {self.silc_limit} vertices "
+                    f"(network has {self.graph.num_vertices}); the paper "
+                    "hits the same wall on its five largest datasets"
+                )
+            self._silc = SILCIndex(self.graph)
+        return self._silc
+
+    @property
+    def silc_available(self) -> bool:
+        return self.graph.num_vertices <= self.silc_limit
+
+    @property
+    def ch(self) -> ContractionHierarchy:
+        if self._ch is None:
+            self._ch = ContractionHierarchy(self.graph)
+        return self._ch
+
+    @property
+    def hub_labels(self) -> HubLabels:
+        if self._hub_labels is None:
+            order = list(np.argsort(-self.ch.rank))
+            self._hub_labels = HubLabels(self.graph, order=order)
+        return self._hub_labels
+
+    @property
+    def tnr(self) -> TransitNodeRouting:
+        if self._tnr is None:
+            self._tnr = TransitNodeRouting(self.graph, ch=self.ch)
+        return self._tnr
+
+    # ------------------------------------------------------------------
+    def make(self, method: str, objects: Sequence[int], **kwargs) -> KNNAlgorithm:
+        """Construct a kNN method instance via the method registry.
+
+        Raises :class:`~repro.engine.registry.UnknownMethod` for names the
+        registry has never seen and
+        :class:`~repro.engine.registry.MethodUnavailable` (with the
+        reason) for methods that cannot run on this network.
+        """
+        return registry.create_method(self, method, objects, **kwargs)
+
+    def available_methods(self, include_disbrw: bool = True) -> List[str]:
+        """The paper's main-comparison methods buildable on this network."""
+        return registry.available_methods(self, include_disbrw=include_disbrw)
+
+    def method_availability(self, method: str) -> Optional[str]:
+        """``None`` if ``method`` can run here, else the reason it cannot."""
+        return registry.get_method(method).availability(self)
+
+    def engine(self, objects: Sequence[int], **kwargs):
+        """A :class:`~repro.engine.engine.QueryEngine` sharing these indexes."""
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine(workbench=self, objects=objects, **kwargs)

@@ -11,10 +11,11 @@ Figures on travel-time graphs (17, 23-27) reuse the same functions on a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.workbench import as_index_cache
 from repro.graph.graph import Graph
 from repro.experiments.runner import (
     ExperimentResult,
@@ -22,7 +23,7 @@ from repro.experiments.runner import (
     measure_query_time,
     random_queries,
 )
-from repro.index.gtree import GTree, GTreeOracle, MATRIX_BACKENDS
+from repro.index.gtree import GTree, GTreeOracle
 from repro.knn.distance_browsing import DistanceBrowsing
 from repro.knn.gtree_knn import GTreeKNN
 from repro.knn.ier import IER
@@ -49,6 +50,11 @@ IER_LABELS = {
 }
 
 
+def _bench(workbench) -> Workbench:
+    """Accept a Workbench/IndexCache or a QueryEngine at every entry point."""
+    return as_index_cache(workbench)
+
+
 # ----------------------------------------------------------------------
 # Figure 4 / 23: IER with different shortest-path oracles
 # ----------------------------------------------------------------------
@@ -62,6 +68,7 @@ def fig04_ier_variants(
     seed: int = 0,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """IER query time per oracle, varying k and object density."""
+    workbench = _bench(workbench)
     graph = workbench.graph
     queries = random_queries(graph, num_queries, seed)
     by_k = ExperimentResult("Fig 4(a) IER variants vs k", "k", "query time (us)")
@@ -175,6 +182,7 @@ def fig08_preprocessing(
     include_silc: bool = True,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """Index size (KB) and construction time (s) vs network size."""
+    suite = {name: _bench(wb) for name, wb in suite.items()}
     size = ExperimentResult(
         "Fig 8(a) index size vs |V|", "|V|", "index size (KB)"
     )
@@ -207,6 +215,7 @@ def fig09_network_size(
     seed: int = 0,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """All methods vs |V|, plus G-tree path cost & ROAD bypassed vertices."""
+    suite = {name: _bench(wb) for name, wb in suite.items()}
     times = ExperimentResult(
         "Fig 9(a) query time vs |V|", "|V|", "query time (us)"
     )
@@ -258,6 +267,7 @@ def fig10_vary_k(
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
+    workbench = _bench(workbench)
     graph = workbench.graph
     objects = uniform_objects(graph, density, seed=seed, minimum=max(ks))
     queries = random_queries(graph, num_queries, seed)
@@ -284,6 +294,7 @@ def fig11_vary_density(
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
+    workbench = _bench(workbench)
     graph = workbench.graph
     queries = random_queries(graph, num_queries, seed)
     if methods is None:
@@ -314,6 +325,7 @@ def fig12_clusters(
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
+    workbench = _bench(workbench)
     graph = workbench.graph
     queries = random_queries(graph, num_queries, seed)
     if methods is None:
@@ -351,6 +363,7 @@ def fig13_real_pois(
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
+    workbench = _bench(workbench)
     graph = workbench.graph
     queries = random_queries(graph, num_queries, seed)
     if methods is None:
@@ -382,6 +395,7 @@ def fig14_min_distance(
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
+    workbench = _bench(workbench)
     graph = workbench.graph
     size = max(k, int(density * graph.num_vertices))
     sets, query_pool, _ = min_distance_object_sets(
@@ -412,6 +426,7 @@ def fig15_real_k(
     seed: int = 0,
     methods: Optional[Sequence[str]] = None,
 ) -> Dict[str, ExperimentResult]:
+    workbench = _bench(workbench)
     graph = workbench.graph
     queries = random_queries(graph, num_queries, seed)
     poi_sets = poi_object_sets(graph, seed=seed, minimum=max(ks), density_scale=10.0)
@@ -439,6 +454,7 @@ def fig18_object_indexes(
     densities: Sequence[float] = (0.001, 0.01, 0.1, 0.5),
     seed: int = 0,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
+    workbench = _bench(workbench)
     graph = workbench.graph
     size = ExperimentResult(
         "Fig 18(a) object index size vs density", "density", "size (KB)"
@@ -474,6 +490,7 @@ def fig19_db_enn(
     num_queries: int = 25,
     seed: int = 0,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
+    workbench = _bench(workbench)
     graph = workbench.graph
     silc = workbench.silc
     queries = random_queries(graph, num_queries, seed)
@@ -508,6 +525,7 @@ def fig20_21_deg2(
     num_queries: int = 25,
     seed: int = 0,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
+    workbench = _bench(workbench)
     graph = workbench.graph
     silc = workbench.silc
     queries = random_queries(graph, num_queries, seed)
@@ -546,6 +564,7 @@ def fig22_leaf_search(
     num_queries: int = 30,
     seed: int = 0,
 ) -> ExperimentResult:
+    workbench = _bench(workbench)
     graph = workbench.graph
     queries = random_queries(graph, num_queries, seed)
     result = ExperimentResult(

@@ -1,8 +1,9 @@
 """Workbench, workload generation and measurement plumbing.
 
-``Workbench`` lazily builds and caches every road-network index for one
-graph, and constructs any of the paper's kNN method instances by name —
-the single entry point the figure functions and the benchmark suite use,
+``Workbench`` is the experiment harness's handle on one road network: a
+thin subclass of the engine's :class:`~repro.engine.workbench.IndexCache`
+(the lazily built, shared index collection), with method construction
+delegated to the pluggable registry in :mod:`repro.engine.registry` —
 mirroring the paper's "same subroutines for common tasks" methodology.
 """
 
@@ -13,149 +14,35 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.registry import known_methods
+from repro.engine.workbench import IndexCache
+from repro.engine.workbench import SILC_MAX_VERTICES as _ENGINE_SILC_CAP
 from repro.graph.graph import Graph
-from repro.index.gtree import GTree, GTreeOracle
-from repro.index.road import RoadIndex
-from repro.index.silc import SILCIndex
 from repro.knn.base import KNNAlgorithm
-from repro.knn.distance_browsing import DistanceBrowsing
-from repro.knn.gtree_knn import GTreeKNN
-from repro.knn.ier import IER
-from repro.knn.ine import INE
-from repro.knn.road_knn import RoadKNN
-from repro.pathfinding.astar import AStarOracle
-from repro.pathfinding.ch import ContractionHierarchy
-from repro.pathfinding.dijkstra import DijkstraOracle
-from repro.pathfinding.hub_labels import HubLabels
-from repro.pathfinding.tnr import TransitNodeRouting
 
-#: Methods the harness knows how to construct.
-METHOD_NAMES = (
-    "ine",
-    "gtree",
-    "road",
-    "disbrw",
-    "disbrw-oh",
-    "ier-dijk",
-    "ier-astar",
-    "ier-gt",
-    "ier-phl",
-    "ier-ch",
-    "ier-tnr",
-)
+#: Methods the harness knows how to construct (registry registration order).
+METHOD_NAMES = tuple(known_methods())
 
-#: SILC requires all-pairs work; like the paper (which could build DisBrw
-#: only on the five smallest datasets) we cap the network size it is
-#: built for.
-SILC_MAX_VERTICES = 9000
+#: Re-exported cap; kept as a module global so existing code (and tests)
+#: can patch ``runner.SILC_MAX_VERTICES`` and see the Workbench react.
+SILC_MAX_VERTICES = _ENGINE_SILC_CAP
 
 
-class Workbench:
-    """Lazily built index collection for one road network."""
+class Workbench(IndexCache):
+    """Lazily built index collection for one road network.
 
-    def __init__(
-        self,
-        graph: Graph,
-        seed: int = 0,
-        tau: Optional[int] = None,
-        road_levels: Optional[int] = None,
-    ) -> None:
-        self.graph = graph
-        self.seed = seed
-        self._tau = tau
-        self._road_levels = road_levels
-        self._gtree: Optional[GTree] = None
-        self._road: Optional[RoadIndex] = None
-        self._silc: Optional[SILCIndex] = None
-        self._ch: Optional[ContractionHierarchy] = None
-        self._hub_labels: Optional[HubLabels] = None
-        self._tnr: Optional[TransitNodeRouting] = None
+    All behaviour lives in :class:`IndexCache` and the method registry;
+    this subclass only exists so harness code (and pickles/imports) keep
+    a stable name, and so the SILC cap honours this module's
+    ``SILC_MAX_VERTICES`` global.
+    """
 
-    # ------------------------------------------------------------------
-    @property
-    def gtree(self) -> GTree:
-        if self._gtree is None:
-            self._gtree = GTree(self.graph, tau=self._tau, seed=self.seed)
-        return self._gtree
+    def _silc_limit(self) -> int:
+        return SILC_MAX_VERTICES
 
-    @property
-    def road(self) -> RoadIndex:
-        if self._road is None:
-            self._road = RoadIndex(
-                self.graph, levels=self._road_levels, seed=self.seed
-            )
-        return self._road
-
-    @property
-    def silc(self) -> SILCIndex:
-        if self._silc is None:
-            if self.graph.num_vertices > SILC_MAX_VERTICES:
-                raise MemoryError(
-                    f"SILC capped at {SILC_MAX_VERTICES} vertices "
-                    f"(network has {self.graph.num_vertices}); the paper "
-                    "hits the same wall on its five largest datasets"
-                )
-            self._silc = SILCIndex(self.graph)
-        return self._silc
-
-    @property
-    def silc_available(self) -> bool:
-        return self.graph.num_vertices <= SILC_MAX_VERTICES
-
-    @property
-    def ch(self) -> ContractionHierarchy:
-        if self._ch is None:
-            self._ch = ContractionHierarchy(self.graph)
-        return self._ch
-
-    @property
-    def hub_labels(self) -> HubLabels:
-        if self._hub_labels is None:
-            order = list(np.argsort(-self.ch.rank))
-            self._hub_labels = HubLabels(self.graph, order=order)
-        return self._hub_labels
-
-    @property
-    def tnr(self) -> TransitNodeRouting:
-        if self._tnr is None:
-            self._tnr = TransitNodeRouting(self.graph, ch=self.ch)
-        return self._tnr
-
-    # ------------------------------------------------------------------
     def make(self, method: str, objects: Sequence[int], **kwargs) -> KNNAlgorithm:
-        """Construct a kNN method instance by harness name."""
-        if method == "ine":
-            return INE(self.graph, objects, **kwargs)
-        if method == "gtree":
-            return GTreeKNN(self.gtree, objects, **kwargs)
-        if method == "road":
-            return RoadKNN(self.road, objects, **kwargs)
-        if method == "disbrw":
-            return DistanceBrowsing(self.silc, objects, **kwargs)
-        if method == "disbrw-oh":
-            return DistanceBrowsing(
-                self.silc, objects, candidate_source="hierarchy", **kwargs
-            )
-        if method == "ier-dijk":
-            return IER(self.graph, objects, DijkstraOracle(self.graph), **kwargs)
-        if method == "ier-astar":
-            return IER(self.graph, objects, AStarOracle(self.graph), **kwargs)
-        if method == "ier-gt":
-            return IER(self.graph, objects, GTreeOracle(self.gtree), **kwargs)
-        if method == "ier-phl":
-            return IER(self.graph, objects, self.hub_labels, **kwargs)
-        if method == "ier-ch":
-            return IER(self.graph, objects, self.ch, **kwargs)
-        if method == "ier-tnr":
-            return IER(self.graph, objects, self.tnr, **kwargs)
-        raise ValueError(f"unknown method {method!r}")
-
-    def available_methods(self, include_disbrw: bool = True) -> List[str]:
-        """The paper's main-comparison methods buildable on this network."""
-        methods = ["ine", "road", "gtree", "ier-gt", "ier-phl"]
-        if include_disbrw and self.silc_available:
-            methods.append("disbrw")
-        return methods
+        """Construct a kNN method instance by harness name (via registry)."""
+        return super().make(method, objects, **kwargs)
 
 
 def random_queries(graph: Graph, count: int, seed: int = 0) -> np.ndarray:

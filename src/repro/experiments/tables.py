@@ -5,12 +5,12 @@ Table 3 (cache profiling) lives in :mod:`repro.experiments.cache_study`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.engine.workbench import as_index_cache
 from repro.experiments.runner import (
-    ExperimentResult,
     Workbench,
     measure_query_time,
     random_queries,
@@ -103,10 +103,12 @@ def table5_ranking(
 
     Returns ``{criterion: {method: rank}}``.  IER is represented by its
     best available oracle (PHL), as in the paper's summary table.
+    Accepts a ``Workbench``/``IndexCache`` or a ``QueryEngine``.
     """
-    methods = workbench.available_methods()
+    workbench = as_index_cache(workbench)
+    if large_workbench is not None:
+        large_workbench = as_index_cache(large_workbench)
     graph = workbench.graph
-    queries = random_queries(graph, num_queries, seed)
     criteria: Dict[str, Dict[str, int]] = {}
 
     def timing(k: int, density: float, wb: Workbench) -> Dict[str, float]:

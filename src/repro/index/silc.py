@@ -27,7 +27,7 @@ chain, the next hop is forced and no quadtree lookup is needed.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

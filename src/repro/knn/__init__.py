@@ -18,7 +18,11 @@ from repro.knn.ier import IER, euclidean_knn_brute_force
 from repro.knn.gtree_knn import GTreeKNN
 from repro.knn.road_knn import RoadKNN
 from repro.knn.distance_browsing import DistanceBrowsing
-from repro.knn.paths import knn_with_paths, silc_paths_for_results
+from repro.knn.paths import (
+    knn_with_paths,
+    shortest_paths_to,
+    silc_paths_for_results,
+)
 
 __all__ = [
     "KNNAlgorithm",
@@ -31,5 +35,6 @@ __all__ = [
     "RoadKNN",
     "DistanceBrowsing",
     "knn_with_paths",
+    "shortest_paths_to",
     "silc_paths_for_results",
 ]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.utils.counters import Counters, NULL_COUNTERS
+
 KNNResult = List[Tuple[float, int]]
 
 
@@ -12,12 +14,16 @@ class KNNAlgorithm:
 
     Subclasses hold their (road-network and object) indexes and answer
     :meth:`knn` queries.  ``name`` identifies the method in experiment
-    output.
+    output.  Every implementation accepts an optional :class:`Counters`
+    and records its internal statistics into it, so all methods are
+    call-compatible behind the engine's registry.
     """
 
     name = "knn"
 
-    def knn(self, query: int, k: int) -> KNNResult:
+    def knn(
+        self, query: int, k: int, counters: Counters = NULL_COUNTERS
+    ) -> KNNResult:
         raise NotImplementedError
 
     @staticmethod

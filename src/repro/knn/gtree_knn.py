@@ -16,9 +16,7 @@ first k settled.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.index.gtree import GTree, OccurrenceList
 from repro.knn.base import KNNAlgorithm, KNNResult

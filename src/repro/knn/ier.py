@@ -16,7 +16,7 @@ observe.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.graph.graph import Graph
 from repro.knn.base import KNNAlgorithm, KNNResult

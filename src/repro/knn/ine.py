@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
-import numpy as np
-
 from repro.graph.graph import Graph
 from repro.knn.base import KNNAlgorithm, KNNResult
 from repro.utils.bitset import BitArray
@@ -68,10 +66,10 @@ class INE(KNNAlgorithm):
         if self.variant == "graph":
             return self._knn_graph(query, k, counters)
         if self.variant == "settled":
-            return self._knn_settled(query, k)
+            return self._knn_settled(query, k, counters)
         if self.variant == "pqueue":
-            return self._knn_pqueue(query, k)
-        return self._knn_first_cut(query, k)
+            return self._knn_pqueue(query, k, counters)
+        return self._knn_first_cut(query, k, counters)
 
     # ------------------------------------------------------------------
     # Production variant
@@ -110,7 +108,9 @@ class INE(KNNAlgorithm):
     # ------------------------------------------------------------------
     # Ablation variants (Figure 7)
     # ------------------------------------------------------------------
-    def _knn_settled(self, query: int, k: int) -> KNNResult:
+    def _knn_settled(
+        self, query: int, k: int, counters: Counters = NULL_COUNTERS
+    ) -> KNNResult:
         adjacency = self._adjacency
         dist: Dict[int, float] = {query: 0.0}
         settled = BitArray(self.graph.num_vertices)
@@ -118,11 +118,14 @@ class INE(KNNAlgorithm):
         heap.push(0.0, query)
         results: List[Tuple[float, int]] = []
         object_set = self.object_set
+        count = counters.enabled
         while heap:
             d, u = heap.pop()
             if settled.get(u):
                 continue
             settled.set(u)
+            if count:
+                counters.add("ine_settled")
             if u in object_set:
                 results.append((d, u))
                 if len(results) == k:
@@ -134,7 +137,9 @@ class INE(KNNAlgorithm):
                     heap.push(nd, v)
         return self._finalise(results, k)
 
-    def _knn_pqueue(self, query: int, k: int) -> KNNResult:
+    def _knn_pqueue(
+        self, query: int, k: int, counters: Counters = NULL_COUNTERS
+    ) -> KNNResult:
         adjacency = self._adjacency
         dist: Dict[int, float] = {query: 0.0}
         settled: Set[int] = set()
@@ -142,11 +147,14 @@ class INE(KNNAlgorithm):
         heap.push(0.0, query)
         results: List[Tuple[float, int]] = []
         object_set = self.object_set
+        count = counters.enabled
         while heap:
             d, u = heap.pop()
             if u in settled:
                 continue
             settled.add(u)
+            if count:
+                counters.add("ine_settled")
             if u in object_set:
                 results.append((d, u))
                 if len(results) == k:
@@ -158,16 +166,21 @@ class INE(KNNAlgorithm):
                     heap.push(nd, v)
         return self._finalise(results, k)
 
-    def _knn_first_cut(self, query: int, k: int) -> KNNResult:
+    def _knn_first_cut(
+        self, query: int, k: int, counters: Counters = NULL_COUNTERS
+    ) -> KNNResult:
         adjacency = self._adjacency
         heap = DecreaseKeyHeap()
         heap.push(0.0, query)
         settled: Set[int] = set()
         results: List[Tuple[float, int]] = []
         object_set = self.object_set
+        count = counters.enabled
         while heap:
             d, u = heap.pop()
             settled.add(u)
+            if count:
+                counters.add("ine_settled")
             if u in object_set:
                 results.append((d, u))
                 if len(results) == k:

@@ -31,10 +31,15 @@ INF = float("inf")
 PathResult = List[Tuple[float, int, List[int]]]
 
 
-def _paths_to_targets(
+def shortest_paths_to(
     graph: Graph, source: int, targets: Sequence[int]
 ) -> dict:
-    """One Dijkstra materialising parent pointers for all ``targets``."""
+    """One Dijkstra materialising parent pointers for all ``targets``.
+
+    Returns ``{target: (distance, [source, ..., target])}`` — a single
+    search regardless of ``len(targets)``.  This is the primitive the
+    engine uses to attach routes to :class:`KNNResult` neighbors.
+    """
     remaining = set(int(t) for t in targets)
     n = graph.num_vertices
     dist = np.full(n, INF)
@@ -78,7 +83,7 @@ def knn_with_paths(
     the distance the algorithm reported — an end-to-end exactness check.
     """
     results = algorithm.knn(query, k)
-    paths = _paths_to_targets(graph, query, [obj for _, obj in results])
+    paths = shortest_paths_to(graph, query, [obj for _, obj in results])
     out: PathResult = []
     for distance, obj in results:
         path_distance, path = paths[obj]

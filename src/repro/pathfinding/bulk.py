@@ -10,7 +10,7 @@ behaviour stays observable and instrumentable.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra

@@ -22,7 +22,7 @@ skip the pruned local search, matching TNR's long-range fast path.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -15,8 +15,6 @@ from __future__ import annotations
 import math
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.utils.pqueue import BinaryHeap
 
 

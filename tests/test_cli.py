@@ -34,6 +34,46 @@ class TestCommands:
         )
         assert rc == 0
 
+    def test_query_auto_method(self, capsys):
+        rc = main(
+            ["query", "--vertices", "250", "--k", "3",
+             "--methods", "auto", "ine"]
+        )
+        assert rc == 0
+        assert "all methods agree" in capsys.readouterr().out
+
+    def test_query_bad_method_lists_known(self, capsys):
+        rc = main(["query", "--vertices", "250", "--methods", "quantum"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown method 'quantum'" in err
+        assert "ine" in err and "gtree" in err
+
+    def test_compare_bad_method_lists_known(self, capsys):
+        rc = main(["compare", "--vertices", "250", "--methods", "quantum"])
+        assert rc == 2
+        assert "known methods" in capsys.readouterr().err
+
+    def test_query_all_methods_unavailable(self, capsys, monkeypatch):
+        from repro.engine import workbench as workbench_mod
+
+        monkeypatch.setattr(workbench_mod, "SILC_MAX_VERTICES", 50)
+        rc = main(["query", "--vertices", "200", "--methods", "disbrw"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "unavailable" in err and "no runnable methods" in err
+
+    def test_methods_listing(self, capsys):
+        rc = main(["methods", "--vertices", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ine" in out and "disbrw" in out and "summary" in out
+
+    def test_methods_listing_with_graph(self, capsys):
+        rc = main(["methods", "--vertices", "150"])
+        assert rc == 0
+        assert "availability on" in capsys.readouterr().out
+
     def test_compare(self, capsys):
         rc = main(
             ["compare", "--vertices", "250", "--k", "3", "--queries", "4",

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.graph.dimacs import load_dimacs, save_dimacs
-from repro.graph.generators import road_network
 
 
 class TestRoundTrip:

@@ -1,0 +1,237 @@
+"""QueryEngine service layer: registry, structured results, batch, planner."""
+
+import pytest
+
+from repro.engine import (
+    AUTO_DENSITY_THRESHOLD,
+    IndexCache,
+    KNNQuery,
+    MethodUnavailable,
+    QueryEngine,
+    UnknownMethod,
+    get_method,
+    known_methods,
+    method_specs,
+    plan_method,
+    register_method,
+    unregister_method,
+)
+from repro.engine import workbench as workbench_mod
+from repro.knn.base import verify_knn_result
+from repro.knn.ine import INE
+from repro.objects import uniform_objects
+from repro.utils.counters import Counters
+
+
+@pytest.fixture(scope="module")
+def engine(road400, objects400):
+    return QueryEngine(road400, objects400)
+
+
+class TestRegistry:
+    def test_builtin_methods_registered(self):
+        names = known_methods()
+        for name in ("ine", "gtree", "road", "disbrw", "ier-phl"):
+            assert name in names
+
+    def test_spec_lookup(self):
+        spec = get_method("gtree")
+        assert spec.name == "gtree"
+        assert "gtree" in spec.requires
+
+    def test_unknown_method_lists_known(self):
+        with pytest.raises(UnknownMethod) as excinfo:
+            get_method("quantum")
+        assert "ine" in str(excinfo.value)
+        assert excinfo.value.known == tuple(known_methods())
+        # UnknownMethod stays a ValueError for old callers.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_register_and_unregister(self, road400, objects400):
+        @register_method("test-ine-alias", summary="test alias")
+        def _build(bench, objects, **kwargs):
+            return INE(bench.graph, objects, **kwargs)
+
+        try:
+            assert "test-ine-alias" in known_methods()
+            bench = IndexCache(road400)
+            alg = bench.make("test-ine-alias", objects400)
+            truth = INE(road400, objects400).knn(7, 3)
+            assert verify_knn_result(alg.knn(7, 3), truth)
+        finally:
+            unregister_method("test-ine-alias")
+        assert "test-ine-alias" not in known_methods()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_method("ine")(lambda bench, objects: None)
+
+    def test_specs_have_summaries(self):
+        for spec in method_specs():
+            assert spec.summary, spec.name
+
+    def test_disbrw_unavailable_reports_reason(self, road400, monkeypatch):
+        monkeypatch.setattr(workbench_mod, "SILC_MAX_VERTICES", 50)
+        bench = IndexCache(road400)
+        assert not bench.silc_available
+        with pytest.raises(MethodUnavailable) as excinfo:
+            bench.make("disbrw", [0, 1, 2])
+        assert excinfo.value.method == "disbrw"
+        assert "SILC capped at 50" in excinfo.value.reason
+        assert bench.method_availability("disbrw") is not None
+        assert bench.method_availability("ine") is None
+        assert "disbrw" not in bench.available_methods()
+
+
+class TestKNNResultBackCompat:
+    def test_iterates_as_distance_vertex_pairs(self, engine, road400, objects400):
+        result = engine.query(7, 4, method="ine")
+        raw = INE(road400, objects400).knn(7, 4)
+        assert [(d, v) for d, v in result] == raw
+        assert result.as_tuples() == raw
+        assert result == raw
+        assert len(result) == len(raw)
+        assert tuple(result[0]) == raw[0]
+
+    def test_verify_knn_result_accepts_engine_result(self, engine, road400, objects400):
+        result = engine.query(7, 4, method="gtree")
+        truth = INE(road400, objects400).knn(7, 4)
+        assert verify_knn_result(result, truth)
+
+    def test_result_carries_provenance(self, engine):
+        result = engine.query(7, 4, method="gtree")
+        assert result.method == "gtree"
+        assert result.query == KNNQuery(7, 4, method="gtree")
+        assert result.time_s > 0
+        assert result.distances == sorted(result.distances)
+
+    def test_with_paths(self, engine):
+        result = engine.query(7, 3, method="ine", with_paths=True)
+        for n in result:
+            assert n.path is not None
+            assert n.path[0] == 7 and n.path[-1] == n.vertex
+
+
+class TestBatch:
+    def test_batch_matches_per_query_calls(self, engine, queries400):
+        batch = engine.batch(queries400[:8], k=5, method="gtree")
+        assert len(batch) == 8
+        for q, result in zip(queries400[:8], batch):
+            single = engine.query(q, 5, method="gtree")
+            assert result.as_tuples() == single.as_tuples()
+
+    def test_batch_of_knnqueries_mixes_methods(self, engine):
+        queries = [KNNQuery(3, 2, "ine"), KNNQuery(3, 2, "ier-phl")]
+        a, b = engine.batch(queries)
+        assert (a.method, b.method) == ("ine", "ier-phl")
+        assert verify_knn_result(a, b.as_tuples())
+
+    def test_explicit_args_override_knnquery_fields(self, engine):
+        q = KNNQuery(3, 2)  # method defaults to "auto"
+        result = engine.query(q, method="gtree")
+        assert result.method == "gtree"
+        (batched,) = engine.batch([q], method="ier-phl", k=4)
+        assert batched.method == "ier-phl"
+        assert batched.query.k == 4
+        with_paths = engine.query(q, with_paths=True)
+        assert all(n.path is not None for n in with_paths)
+
+    def test_batch_requires_k_for_bare_ids(self, engine):
+        with pytest.raises(ValueError):
+            engine.batch([1, 2, 3])
+
+    def test_batch_reuses_algorithm_instances(self, engine):
+        engine.batch([1, 2], k=2, method="ine")
+        first = engine.algorithm("ine")
+        engine.batch([3, 4], k=2, method="ine")
+        assert engine.algorithm("ine") is first
+
+
+class TestAutoPlanner:
+    def test_high_density_plans_ine(self, road400):
+        objects = uniform_objects(road400, 0.2, seed=1)
+        engine = QueryEngine(road400, objects)
+        assert engine.plan(k=5) == "ine"
+        assert engine.query(3, 2).method == "ine"
+
+    def test_low_density_plans_non_ine(self, road400):
+        objects = uniform_objects(road400, 0.005, seed=1, minimum=2)
+        engine = QueryEngine(road400, objects)
+        planned = engine.plan(k=2)
+        assert planned != "ine"
+        assert engine.query(3, 2).method == planned
+
+    def test_threshold_boundary(self, road400):
+        n = road400.num_vertices
+        dense = [0] * int(AUTO_DENSITY_THRESHOLD * n + 1)
+        sparse = [0]
+        assert plan_method(road400, dense) == "ine"
+        assert plan_method(road400, sparse) != "ine"
+
+    def test_custom_threshold(self, road400, objects400):
+        engine = QueryEngine(road400, objects400, density_threshold=1.0)
+        assert engine.plan() != "ine"
+
+    def test_auto_resolves_per_query(self, engine):
+        resolved = engine.resolve_method("auto", k=3)
+        assert resolved in known_methods()
+        with pytest.raises(UnknownMethod):
+            engine.resolve_method("quantum", k=3)
+
+
+class TestExplain:
+    def test_explain_counters_and_timing(self, engine):
+        reports = engine.explain(11, 4)
+        assert set(reports) == set(engine.available_methods())
+        reference = None
+        for method, result in reports.items():
+            assert result.method == method
+            assert result.time_s > 0
+            assert result.counters.as_dict(), f"{method} recorded no counters"
+            if reference is None:
+                reference = result
+            else:
+                assert verify_knn_result(result, reference.as_tuples()), method
+
+    def test_explain_counter_plumbing_per_method(self, engine):
+        reports = engine.explain(11, 4, methods=("ine", "gtree", "road", "ier-phl"))
+        assert reports["ine"].counters["ine_settled"] > 0
+        assert reports["gtree"].counters["gtree_matrix_ops"] > 0
+        assert reports["road"].counters["road_settled"] > 0
+        assert reports["ier-phl"].counters["ier_network_computations"] > 0
+
+
+class TestEngineConstruction:
+    def test_shared_workbench(self, road400, objects400):
+        bench = IndexCache(road400)
+        a = bench.engine(objects400)
+        b = a.with_objects(objects400[: len(objects400) // 2])
+        assert a.workbench is b.workbench
+        # Indexes built through one engine are visible to the other.
+        assert a.workbench.gtree is b.workbench.gtree
+
+    def test_counters_kwarg_passthrough(self, engine):
+        counters = Counters()
+        result = engine.query(5, 3, method="ine", counters=counters)
+        assert result.counters is counters
+        assert counters["ine_settled"] > 0
+
+    def test_requires_graph_or_workbench(self):
+        with pytest.raises(ValueError):
+            QueryEngine()
+
+
+class TestBaseSignature:
+    def test_all_methods_accept_counters(self, road400, objects400):
+        bench = IndexCache(road400)
+        for name in known_methods():
+            counters = Counters()
+            alg = bench.make(name, objects400)
+            result = alg.knn(9, 3, counters=counters)
+            assert len(result) == 3, name
+
+    def test_ine_ablation_variants_count_settled(self, road400, objects400):
+        for variant in ("first_cut", "pqueue", "settled", "graph"):
+            counters = Counters()
+            INE(road400, objects400, variant=variant).knn(9, 3, counters=counters)
+            assert counters["ine_settled"] > 0, variant

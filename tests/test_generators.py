@@ -11,8 +11,7 @@ from repro.graph.generators import (
     grid_network,
     road_network,
     scaled_network_suite,
-    travel_time_weights,
-)
+    )
 
 
 def _is_connected(graph):

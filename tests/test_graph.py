@@ -1,11 +1,10 @@
 """Graph structure, builder validation and weight-variant tests."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.graph.graph import Graph, GraphBuilder, from_edge_list, largest_connected_component
+from repro.graph.graph import GraphBuilder, from_edge_list, largest_connected_component
 
 
 class TestGraphBuilder:

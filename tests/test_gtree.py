@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graph.generators import delaunay_network, road_network
+from repro.graph.generators import delaunay_network
 from repro.index.gtree import (
     ArrayMatrix,
     GTree,

@@ -116,7 +116,7 @@ class TestAssociationDirectory:
         other_leaves = [
             n.id for n in road_index.rnets if n.is_leaf and n.id != leaf0
         ]
-        assert any(not ad.rnet_has_object(l) for l in other_leaves)
+        assert any(not ad.rnet_has_object(leaf) for leaf in other_leaves)
 
     def test_costs(self, road_index, objects400):
         ad = AssociationDirectory(road_index, objects400)
