@@ -34,6 +34,11 @@ adds a sixth method that immediately works in the engine, the CLI and the
 experiment harness (see :mod:`repro.engine.registry`).  The underlying
 algorithm classes (``INE(graph, objects).knn(0, 5)``, ...) remain public
 for direct use.
+
+Preprocessing is persistent: pass ``store=IndexStore(path)`` to the
+engine (or use ``python -m repro build``) and every index is serialized
+to a versioned on-disk artifact once, then warm-started by later
+processes — see :mod:`repro.store` and README.md.
 """
 
 from repro.engine import (
@@ -89,8 +94,14 @@ from repro.pathfinding import (
     HubLabels,
     TransitNodeRouting,
 )
+from repro.store import (
+    ArtifactMissing,
+    IndexStore,
+    StoreCorruption,
+    StoreError,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QueryEngine",
@@ -135,4 +146,8 @@ __all__ = [
     "ContractionHierarchy",
     "HubLabels",
     "TransitNodeRouting",
+    "IndexStore",
+    "ArtifactMissing",
+    "StoreCorruption",
+    "StoreError",
 ]

@@ -11,6 +11,16 @@ Examples::
     # compare method timings at several densities
     python -m repro compare --vertices 2000 --k 10
 
+    # prebuild every index the main methods need and persist them
+    python -m repro build --vertices 2000 --store ./store
+
+    # answer queries warm-starting from the persisted indexes
+    python -m repro query --vertices 2000 --store ./store
+
+    # inspect / clean the artifact store
+    python -m repro store ls --store ./store
+    python -m repro store gc --store ./store
+
     # list every registered kNN method
     python -m repro methods
 
@@ -22,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -29,6 +40,7 @@ import numpy as np
 from repro.engine import (
     MethodUnavailable,
     QueryEngine,
+    get_method,
     known_methods,
     method_specs,
 )
@@ -36,6 +48,18 @@ from repro.experiments.runner import Workbench, measure_query_time, random_queri
 from repro.graph.dimacs import load_dimacs
 from repro.graph.generators import road_network, travel_time_weights
 from repro.objects import uniform_objects
+from repro.store import (
+    INDEX_KINDS,
+    ArtifactMissing,
+    IndexStore,
+    StoreError,
+    artifact_key,
+    expand_kinds,
+    load_objects,
+    save_graph,
+    save_objects,
+)
+from repro.utils.counters import BUILD_COUNTERS
 
 
 def _build_graph(args: argparse.Namespace):
@@ -46,6 +70,11 @@ def _build_graph(args: argparse.Namespace):
     if getattr(args, "travel_time", False):
         graph = travel_time_weights(graph, seed=args.seed)
     return graph
+
+
+def _open_store(args: argparse.Namespace) -> Optional[IndexStore]:
+    path = getattr(args, "store", None)
+    return IndexStore(path) if path else None
 
 
 def _validate_methods(methods: Optional[Sequence[str]]) -> Optional[str]:
@@ -70,8 +99,27 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     graph = _build_graph(args)
-    objects = uniform_objects(graph, args.density, seed=args.seed, minimum=args.k)
-    engine = QueryEngine(graph, objects)
+    store = _open_store(args)
+    objects = None
+    if store is not None:
+        # Prefer the object set `repro build --density` persisted for
+        # this (graph, density, seed); regenerate on a clean miss.
+        try:
+            objects = [
+                int(o)
+                for o in load_objects(
+                    store,
+                    graph,
+                    params={"density": args.density, "seed": args.seed},
+                )
+            ]
+        except ArtifactMissing:
+            objects = None
+        if objects is not None and len(objects) < args.k:
+            objects = None  # saved without the k-minimum this query needs
+    if objects is None:
+        objects = uniform_objects(graph, args.density, seed=args.seed, minimum=args.k)
+    engine = QueryEngine(graph, objects, seed=args.seed, store=store)
     query = args.query if args.query is not None else graph.num_vertices // 2
     print(f"{graph}, |O|={len(objects)}, query={query}, k={args.k}")
     methods = args.methods or engine.available_methods()
@@ -107,7 +155,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     graph = _build_graph(args)
-    engine = QueryEngine(graph, [])
+    engine = QueryEngine(graph, [], seed=args.seed, store=_open_store(args))
     queries = random_queries(graph, args.queries, seed=args.seed)
     methods = args.methods or engine.available_methods()
     densities = args.densities or [0.001, 0.01, 0.1]
@@ -157,6 +205,138 @@ def cmd_methods(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_build(args: argparse.Namespace) -> int:
+    """Prebuild road-network indexes and persist them to a store.
+
+    The set of indexes comes from the registry's per-method ``requires``
+    declarations — exactly what the chosen methods will need at query
+    time, nothing more.
+    """
+    error = _validate_methods(args.methods)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    store = _open_store(args)
+    if store is None:
+        print("build requires --store PATH", file=sys.stderr)
+        return 2
+    if args.indexes:
+        unknown = [k for k in args.indexes if k not in INDEX_KINDS]
+        if unknown:
+            print(
+                f"unknown index kind {unknown[0]!r}; persistable kinds: "
+                f"{', '.join(INDEX_KINDS)}",
+                file=sys.stderr,
+            )
+            return 2
+    graph = _build_graph(args)
+    if not store.contains("graph", artifact_key(graph)):
+        save_graph(store, graph)
+    bench = Workbench(graph, seed=args.seed, store=store)
+    if args.indexes:
+        kinds = list(dict.fromkeys(args.indexes))
+    else:
+        methods = args.methods or bench.available_methods()
+        if "auto" in methods:
+            # The planner may pick any main method depending on density,
+            # so "auto" prewarms everything the main lineup needs.
+            methods = list(
+                dict.fromkeys(
+                    [m for m in methods if m != "auto"]
+                    + bench.available_methods()
+                )
+            )
+        kinds = list(
+            dict.fromkeys(req for m in methods for req in get_method(m).requires)
+        )
+    # Dependencies first (TNR/hub labels ride on CH) so each per-kind
+    # timing/label below reflects only that kind's own work.
+    kinds = expand_kinds(kinds)
+    print(f"{graph} -> {store.root}")
+    for kind in kinds:
+        counter = f"build:{kind}"
+        before = BUILD_COUNTERS.as_dict().get(counter, 0)
+        start = time.perf_counter()
+        obtained = bench.prebuild([kind])  # owns the applicability skips
+        elapsed = time.perf_counter() - start
+        if not obtained:
+            print(f"  {kind:11} skipped (over the {bench.silc_limit}-vertex cap)")
+            continue
+        index = getattr(bench, kind)
+        how = "built" if BUILD_COUNTERS.as_dict().get(counter, 0) > before else "loaded"
+        print(
+            f"  {kind:11} {how} in {elapsed:.2f}s "
+            f"({index.size_bytes() / 1024:.0f} KB in memory)"
+        )
+    if args.density is not None:
+        obj_params = {"density": args.density, "seed": args.seed}
+        if store.contains("objects", artifact_key(graph, obj_params)):
+            print("  objects     already stored")
+        else:
+            objects = uniform_objects(graph, args.density, seed=args.seed)
+            save_objects(store, graph, objects, params=obj_params)
+            print(f"  objects     saved ({len(objects)} vertices)")
+    print(f"store now holds {len(store.entries())} artifacts")
+    return 0
+
+
+def _existing_store(args: argparse.Namespace) -> Optional[IndexStore]:
+    """The store at ``--store``, or None (with a message) if absent.
+
+    Inspection commands must not mkdir a typo'd path into existence.
+    """
+    store = _open_store(args)
+    if store is None or not store.root.is_dir():
+        where = store.root if store is not None else "(empty --store path)"
+        print(f"no store at {where}", file=sys.stderr)
+        return None
+    return store
+
+
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    """List every artifact in the store."""
+    store = _existing_store(args)
+    if store is None:
+        return 2
+    entries = store.entries()
+    stale = store.stale_entry_count()
+    stale_note = (
+        f" (+{stale} from another store format; run `repro store gc` to reclaim)"
+        if stale
+        else ""
+    )
+    if not entries:
+        print(f"{store.root}: empty store{stale_note}")
+        return 0
+    total_kb = sum(e.nbytes for e in entries) / 1024
+    print(f"{store.root}: {len(entries)} artifacts, "
+          f"{total_kb:.0f} KB on disk{stale_note}")
+    print(f"{'kind':11} {'key':17} {'size':>9} {'build':>8}  params")
+    for e in entries:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(e.params.items()))
+        print(
+            f"{e.kind:11} {e.key:17} {e.nbytes / 1024:>7.0f}KB "
+            f"{e.build_time_s:>7.2f}s  {params or '-'}"
+        )
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    """Sweep corrupt, version-mismatched and orphaned artifacts."""
+    store = _existing_store(args)
+    if store is None:
+        return 2
+    removed = store.gc(dry_run=args.dry_run, clear=args.all)
+    verb = "would remove" if args.dry_run else "removed"
+    if not removed:
+        print("store is clean; nothing to collect")
+        return 0
+    for artifact_id, reason in removed:
+        print(f"{verb} {artifact_id}: {reason}")
+    print(f"{verb} {len(removed)} artifacts")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     degrees = np.diff(graph.vertex_start)
@@ -191,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--query", type=int, help="query vertex (default: centre id)")
     q.add_argument("--methods", nargs="*",
                    help="subset of methods to run ('auto' lets the engine pick)")
+    q.add_argument("--store", help="index store directory to warm-start from")
     q.set_defaults(func=cmd_query)
 
     c = sub.add_parser("compare", help="timing table across densities")
@@ -199,7 +380,39 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--queries", type=int, default=20)
     c.add_argument("--densities", nargs="*", type=float)
     c.add_argument("--methods", nargs="*")
+    c.add_argument("--store", help="index store directory to warm-start from")
     c.set_defaults(func=cmd_compare)
+
+    b = sub.add_parser(
+        "build", help="prebuild indexes and persist them to a store"
+    )
+    common(b)
+    b.add_argument("--store", required=True,
+                   help="index store directory (created if absent)")
+    b.add_argument("--methods", nargs="*",
+                   help="persist what these methods require (default: all "
+                        "main methods runnable on the network)")
+    b.add_argument("--indexes", nargs="*",
+                   help="explicit index kinds instead (gtree road silc ch "
+                        "hub_labels tnr)")
+    b.add_argument("--density", type=float,
+                   help="also save a uniform object set at this density")
+    b.set_defaults(func=cmd_build)
+
+    s = sub.add_parser("store", help="inspect or clean an index store")
+    ssub = s.add_subparsers(dest="store_command", required=True)
+    sls = ssub.add_parser("ls", help="list artifacts")
+    sls.add_argument("--store", required=True)
+    sls.set_defaults(func=cmd_store_ls)
+    sgc = ssub.add_parser(
+        "gc", help="remove corrupt, version-mismatched and orphaned artifacts"
+    )
+    sgc.add_argument("--store", required=True)
+    sgc.add_argument("--dry-run", action="store_true",
+                     help="report what would be removed without removing")
+    sgc.add_argument("--all", action="store_true",
+                     help="clear the entire store")
+    sgc.set_defaults(func=cmd_store_gc)
 
     m = sub.add_parser("methods", help="list registered kNN methods")
     common(m, default_vertices=0)
@@ -214,7 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except StoreError as exc:
+        # Anticipated store damage: surface the curated repair message
+        # (e.g. "run `repro store gc`, then rebuild") as a one-liner, in
+        # the same message-plus-exit-code style as other user errors.
+        print(f"store error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -47,7 +47,16 @@ class QueryEngine:
     objects:
         Object vertex ids this engine answers queries against.
     density_threshold:
-        Override for the auto planner's INE/IER crossover density.
+        Override for the auto planner's INE/IER crossover density
+        (default :data:`repro.engine.planner.AUTO_DENSITY_THRESHOLD`).
+    store:
+        Optional :class:`repro.store.IndexStore`.  Indexes are then
+        loaded from disk when a matching artifact exists and saved after
+        a fresh build, so a restarted service warm-starts instead of
+        re-running preprocessing.  Only valid when the engine creates
+        its own index cache from a graph; combining it with an existing
+        workbench raises ``ValueError`` (attach the store when
+        constructing that workbench instead).
     """
 
     def __init__(
@@ -60,16 +69,33 @@ class QueryEngine:
         tau: Optional[int] = None,
         road_levels: Optional[int] = None,
         density_threshold: Optional[float] = None,
+        store=None,
     ) -> None:
         if workbench is None:
             if isinstance(graph_or_workbench, IndexCache):
                 workbench = graph_or_workbench
             elif graph_or_workbench is not None:
                 workbench = IndexCache(
-                    graph_or_workbench, seed=seed, tau=tau, road_levels=road_levels
+                    graph_or_workbench,
+                    seed=seed,
+                    tau=tau,
+                    road_levels=road_levels,
+                    store=store,
                 )
             else:
                 raise ValueError("provide a graph or a workbench")
+        if store is not None and (
+            workbench.store is None
+            or workbench.store.root.resolve() != store.root.resolve()
+        ):
+            # An existing workbench keeps its own (possibly absent) store
+            # backing; silently dropping the argument would let a caller
+            # believe warm-start is active while every restart rebuilds.
+            # An equivalent store (same directory) is accepted.
+            raise ValueError(
+                "store= has no effect on an existing workbench; construct "
+                "the IndexCache/Workbench with store= instead"
+            )
         self.workbench = workbench
         self.graph = workbench.graph
         self.objects = [int(o) for o in objects]
@@ -137,6 +163,28 @@ class QueryEngine:
         ``query`` may be a vertex id (``k`` required, ``method`` defaults
         to ``"auto"``) or a :class:`KNNQuery`, whose fields are used
         unless explicitly overridden by these arguments.
+
+        ``method="auto"`` applies the density heuristic from the paper's
+        headline result (Figures 11/16/24): when object density
+        ``|O| / |V|`` is at or above the planner threshold (default
+        ``0.01``, one object per 100 vertices) INE is chosen, because its
+        expansion settles almost no vertices before finding k objects; at
+        lower densities the first runnable entry of ``ier-gt``,
+        ``gtree``, ``ier-phl``, ``ine`` wins.  The resolved method name
+        is recorded in ``KNNResult.method``.
+
+        Other parameters: ``with_paths=True`` attaches reconstructed
+        shortest paths to each :class:`~repro.engine.query.Neighbor`;
+        ``counters`` supplies a
+        :class:`~repro.utils.counters.Counters` to record
+        algorithm-internal events into (a fresh one is created
+        otherwise and returned on the result).
+
+        Raises :class:`~repro.engine.registry.UnknownMethod` for names
+        the registry has never seen and
+        :class:`~repro.engine.registry.MethodUnavailable` when the named
+        method cannot run on this network (e.g. SILC over its vertex
+        cap).
         """
         q = normalise_query(query, k, method, with_paths)
         resolved = self.resolve_method(q.method, q.k)
@@ -173,11 +221,16 @@ class QueryEngine:
     ) -> List[KNNResult]:
         """Answer a workload of queries, amortising index construction.
 
+        ``queries`` mixes bare vertex ids (``k`` then required) and
+        :class:`KNNQuery` objects; explicit ``k`` / ``method`` /
+        ``with_paths`` override the fields of any :class:`KNNQuery`
+        entries.  Returns one :class:`KNNResult` per input, in order.
+
         Queries sharing a method reuse one algorithm instance (and the
         road-network indexes behind it), so the per-query cost converges
         to pure search time — the quantity the paper's figures report.
-        Explicit ``k`` / ``method`` / ``with_paths`` override the fields
-        of any :class:`KNNQuery` entries.
+        ``method="auto"`` resolves per query via the density heuristic
+        (see :meth:`query`).
         """
         normalized = as_queries(queries, k=k, method=method, with_paths=with_paths)
         return [self.query(q) for q in normalized]
@@ -190,9 +243,12 @@ class QueryEngine:
     ) -> Dict[str, KNNResult]:
         """Run every (or the given) method on one query.
 
-        Each returned :class:`KNNResult` carries that method's counters
-        and wall-clock time — per-method cost profiles on identical
-        input, the paper's Section 7 methodology in one call.
+        ``methods`` defaults to :meth:`available_methods` — the paper's
+        main-comparison lineup runnable on this network (DisBrw drops
+        out above the SILC vertex cap).  Returns ``{method_name:
+        KNNResult}``; each result carries that method's counters and
+        wall-clock time — per-method cost profiles on identical input,
+        the paper's Section 7 methodology in one call.
         """
         if methods is None:
             methods = self.available_methods()

@@ -22,8 +22,12 @@ from repro.utils.counters import Counters
 class KNNQuery:
     """One kNN request: a query vertex, ``k`` and a method choice.
 
-    ``method`` may be any registry name or ``"auto"``, in which case the
-    engine's planner picks one from the workload's object density.
+    ``method`` may be any registry name or ``"auto"`` (the default), in
+    which case the engine's planner picks one from the workload's object
+    density — INE at or above the crossover threshold, an IER/G-tree
+    method below it (see :mod:`repro.engine.planner`).  With
+    ``with_paths=True`` the engine attaches the reconstructed shortest
+    path to every returned :class:`Neighbor`.
     """
 
     vertex: int

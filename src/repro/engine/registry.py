@@ -167,13 +167,7 @@ def available_methods(bench, include_disbrw: bool = True) -> List[str]:
 # Built-in methods (the paper's five, plus IER oracle variants)
 # ----------------------------------------------------------------------
 def _silc_check(bench) -> Optional[str]:
-    if bench.silc_available:
-        return None
-    return (
-        f"SILC capped at {bench.silc_limit} vertices (network has "
-        f"{bench.graph.num_vertices}); the paper hits the same wall on "
-        "its five largest datasets"
-    )
+    return bench.silc_unavailable_reason()
 
 
 @register_method(

@@ -40,10 +40,6 @@ class Workbench(IndexCache):
     def _silc_limit(self) -> int:
         return SILC_MAX_VERTICES
 
-    def make(self, method: str, objects: Sequence[int], **kwargs) -> KNNAlgorithm:
-        """Construct a kNN method instance by harness name (via registry)."""
-        return super().make(method, objects, **kwargs)
-
 
 def random_queries(graph: Graph, count: int, seed: int = 0) -> np.ndarray:
     """Uniformly random query vertices (the paper's query workload)."""

@@ -14,8 +14,9 @@ definition assumes a connected undirected graph).
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -56,6 +57,7 @@ class Graph:
         self.weight_kind = weight_kind
         self._csr: Optional[csr_matrix] = None
         self._max_speed: Optional[float] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -175,6 +177,56 @@ class Graph:
             + self.x.nbytes
             + self.y.nbytes
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The CSR arrays as a flat dict — an ``IndexStore`` artifact payload."""
+        return {
+            "vertex_start": self.vertex_start,
+            "edge_target": self.edge_target,
+            "edge_weight": self.edge_weight,
+            "x": self.x,
+            "y": self.y,
+            "name": np.asarray(self.name),
+            "weight_kind": np.asarray(self.weight_kind),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "Graph":
+        """Rebuild a graph from :meth:`to_arrays` output."""
+        return cls(
+            np.asarray(arrays["vertex_start"], dtype=np.int64),
+            np.asarray(arrays["edge_target"], dtype=np.int32),
+            np.asarray(arrays["edge_weight"], dtype=np.float64),
+            np.asarray(arrays["x"], dtype=np.float64),
+            np.asarray(arrays["y"], dtype=np.float64),
+            name=str(arrays.get("name", "graph")),
+            weight_kind=str(arrays.get("weight_kind", "distance")),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of topology, weights and coordinates (cached).
+
+        The persistent index store keys every artifact by this digest, so
+        an index saved for one network can never be served for another —
+        including the same topology under different edge weights (the
+        travel-time variants).
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            for arr in (
+                self.vertex_start,
+                self.edge_target,
+                self.edge_weight,
+                self.x,
+                self.y,
+            ):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            h.update(self.weight_kind.encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:
         return (

@@ -35,10 +35,23 @@ from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.graph.graph import Graph
 from repro.graph.partition import recursive_partition
-from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.arrays import concat_ragged, ragged_row
+from repro.utils.counters import BUILD_COUNTERS, Counters, NULL_COUNTERS
 from repro.utils.pqueue import BinaryHeap
 
 INF = float("inf")
+
+
+def _matrix_dense(matrix) -> np.ndarray:
+    """The dense distance array behind any matrix backend."""
+    if hasattr(matrix, "m"):
+        return matrix.m
+    rows, cols = matrix.shape
+    out = np.empty((rows, cols))
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = matrix.get(i, j)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -236,6 +249,7 @@ class GTree:
             tau = max(32, int(np.sqrt(graph.num_vertices) / 2) * 4)
         self.tau = tau
         self.matrix_backend = matrix_backend
+        BUILD_COUNTERS.add("build:gtree")
         start = time.perf_counter()
         self._build(seed)
         self._build_time = time.perf_counter() - start
@@ -685,6 +699,109 @@ class GTree:
     def average_borders(self) -> float:
         return float(np.mean([len(n.borders) for n in self.nodes]))
 
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the tree into numpy arrays (Section 6.2 layout, on disk).
+
+        Ragged per-node sequences (vertices, borders, matrices, ...) are
+        concatenated with ``*_off`` offset arrays; ``from_arrays`` slices
+        them back.  The paper's flat-array layout is thereby also the
+        storage format — no pickling of node objects.
+        """
+        nodes = self.nodes
+        empty = np.empty(0, dtype=np.int64)
+        verts, verts_off = concat_ragged(
+            [n.vertices if n.vertices is not None else empty for n in nodes],
+            np.int64,
+        )
+        borders, borders_off = concat_ragged([n.borders for n in nodes], np.int64)
+        cb, cb_off = concat_ragged(
+            [n.child_borders if n.child_borders is not None else empty for n in nodes],
+            np.int64,
+        )
+        children, children_off = concat_ragged(
+            [np.asarray(n.children, dtype=np.int64) for n in nodes], np.int64
+        )
+        pip, pip_off = concat_ragged([n.pos_in_parent for n in nodes], np.int64)
+        obp, obp_off = concat_ragged([n.own_border_pos for n in nodes], np.int64)
+        mats = [_matrix_dense(n.matrix) for n in nodes]
+        mat_flat, mat_off = concat_ragged([m.ravel() for m in mats], np.float64)
+        mat_shape = np.asarray([m.shape for m in mats], dtype=np.int64)
+        return {
+            "parent": np.asarray([n.parent for n in nodes], dtype=np.int64),
+            "level": np.asarray([n.level for n in nodes], dtype=np.int64),
+            "leaf_lo": np.asarray([n.leaf_lo for n in nodes], dtype=np.int64),
+            "leaf_hi": np.asarray([n.leaf_hi for n in nodes], dtype=np.int64),
+            "children": children,
+            "children_off": children_off,
+            "vertices": verts,
+            "vertices_off": verts_off,
+            "borders": borders,
+            "borders_off": borders_off,
+            "child_borders": cb,
+            "child_borders_off": cb_off,
+            "pos_in_parent": pip,
+            "pos_in_parent_off": pip_off,
+            "own_border_pos": obp,
+            "own_border_pos_off": obp_off,
+            "matrix": mat_flat,
+            "matrix_off": mat_off,
+            "matrix_shape": mat_shape,
+            "leaf_of": self.leaf_of,
+            "leaf_index_of": self.leaf_index_of,
+            "fanout": np.asarray(self.fanout),
+            "tau": np.asarray(self.tau),
+            "matrix_backend": np.asarray(self.matrix_backend),
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(cls, graph: Graph, arrays: Dict[str, np.ndarray]) -> "GTree":
+        """Rehydrate a :meth:`to_arrays` dump without rebuilding.
+
+        ``build_time()`` reports the *original* construction wall-time
+        (recorded in the artifact), so preprocessing figures stay honest
+        when served from the store.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.fanout = int(arrays["fanout"])
+        self.tau = int(arrays["tau"])
+        self.matrix_backend = str(arrays["matrix_backend"])
+        self._build_time = float(arrays["build_time"])
+        backend = MATRIX_BACKENDS[self.matrix_backend]
+
+        parent = arrays["parent"]
+        n_nodes = len(parent)
+
+        def rag(name: str, i: int) -> np.ndarray:
+            return ragged_row(arrays[name], arrays[f"{name}_off"], i)
+
+        self.nodes = []
+        for i in range(n_nodes):
+            node = GTreeNode(i, int(parent[i]), int(arrays["level"][i]))
+            node.leaf_lo = int(arrays["leaf_lo"][i])
+            node.leaf_hi = int(arrays["leaf_hi"][i])
+            node.children = [int(c) for c in rag("children", i)]
+            node.borders = rag("borders", i)
+            node.pos_in_parent = rag("pos_in_parent", i)
+            node.own_border_pos = rag("own_border_pos", i)
+            rows, cols = (int(v) for v in arrays["matrix_shape"][i])
+            node.matrix = backend(rag("matrix", i).reshape(rows, cols))
+            if node.is_leaf:
+                node.vertices = rag("vertices", i)
+                node.vertex_pos = {int(v): j for j, v in enumerate(node.vertices)}
+            else:
+                node.child_borders = rag("child_borders", i)
+            self.nodes.append(node)
+        self.root = 0
+        self.leaf_of = np.asarray(arrays["leaf_of"], dtype=np.int64)
+        self.leaf_index_of = np.asarray(arrays["leaf_index_of"], dtype=np.int64)
+        # leaf_adj is rebuilt lazily on first same-leaf search.
+        return self
+
 
 # ----------------------------------------------------------------------
 # Occurrence List (G-tree's object index, Sections 3.5 / 7.4)
@@ -793,6 +910,24 @@ class OccurrenceList:
         total += sum(8 * len(v) + 16 for v in self.leaf_objects.values())
         total += sum(8 * len(v) + 16 for v in self.children_with_objects.values())
         return total
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The object set is the whole state — occupancy is derived."""
+        return {
+            "objects": self.objects,
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, gtree: "GTree", arrays: Dict[str, np.ndarray]
+    ) -> "OccurrenceList":
+        ol = cls(gtree, np.asarray(arrays["objects"], dtype=np.int64))
+        ol._build_time = float(arrays["build_time"])
+        return ol
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,8 @@ from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.graph.graph import Graph
 from repro.graph.partition import recursive_partition
+from repro.utils.arrays import concat_ragged, ragged_row
+from repro.utils.counters import BUILD_COUNTERS
 
 INF = float("inf")
 
@@ -95,6 +97,7 @@ class RoadIndex:
         if levels is None:
             levels = max(2, round(math.log(max(graph.num_vertices / 50, 4), fanout)))
         self.levels = levels
+        BUILD_COUNTERS.add("build:road")
         start = time.perf_counter()
         self._build(seed)
         self._build_time = time.perf_counter() - start
@@ -157,6 +160,12 @@ class RoadIndex:
             node.interior_size = len(verts) - len(node.borders)
 
         self._build_shortcuts()
+        self._build_query_structures()
+
+    def _build_query_structures(self) -> None:
+        """Derived structures shared by ``_build`` and ``from_arrays``."""
+        graph = self.graph
+        n = graph.num_vertices
 
         # Route Overlay: for each vertex, the chain of Rnets it borders,
         # ordered shallowest (highest level in paper terms) first.  The
@@ -345,6 +354,95 @@ class RoadIndex:
             np.mean([len(nd.borders) for nd in self.rnets if nd.id != self.root])
         )
 
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the Rnet hierarchy and shortcut matrices to numpy arrays.
+
+        The Route Overlay and the flat query-time lists are *derived*
+        structures, recomputed cheaply by ``from_arrays`` — only the
+        expensive Dijkstra products (shortcut matrices) are stored.
+        """
+        rnets = self.rnets
+        empty = np.empty(0, dtype=np.int64)
+        verts, verts_off = concat_ragged(
+            [n.vertices if n.vertices is not None else empty for n in rnets],
+            np.int64,
+        )
+        borders, borders_off = concat_ragged([n.borders for n in rnets], np.int64)
+        children, children_off = concat_ragged(
+            [np.asarray(n.children, dtype=np.int64) for n in rnets], np.int64
+        )
+        mats = [
+            n.shortcut_matrix
+            if n.shortcut_matrix is not None
+            else np.empty((0, 0))
+            for n in rnets
+        ]
+        mat_flat, mat_off = concat_ragged([m.ravel() for m in mats], np.float64)
+        mat_shape = np.asarray([m.shape for m in mats], dtype=np.int64)
+        return {
+            "parent": np.asarray([n.parent for n in rnets], dtype=np.int64),
+            "level": np.asarray([n.level for n in rnets], dtype=np.int64),
+            "leaf_lo": np.asarray([n.leaf_lo for n in rnets], dtype=np.int64),
+            "leaf_hi": np.asarray([n.leaf_hi for n in rnets], dtype=np.int64),
+            "interior_size": np.asarray(
+                [n.interior_size for n in rnets], dtype=np.int64
+            ),
+            "children": children,
+            "children_off": children_off,
+            "vertices": verts,
+            "vertices_off": verts_off,
+            "borders": borders,
+            "borders_off": borders_off,
+            "shortcut": mat_flat,
+            "shortcut_off": mat_off,
+            "shortcut_shape": mat_shape,
+            "leaf_of": self.leaf_of,
+            "leaf_index_of": self.leaf_index_of,
+            "fanout": np.asarray(self.fanout),
+            "levels": np.asarray(self.levels),
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(cls, graph: Graph, arrays: Dict[str, np.ndarray]) -> "RoadIndex":
+        """Rehydrate a :meth:`to_arrays` dump without re-running Dijkstra."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.fanout = int(arrays["fanout"])
+        self.levels = int(arrays["levels"])
+        self._build_time = float(arrays["build_time"])
+
+        parent = arrays["parent"]
+        self.rnets = []
+        for i in range(len(parent)):
+            node = RnetNode(i, int(parent[i]), int(arrays["level"][i]))
+            node.leaf_lo = int(arrays["leaf_lo"][i])
+            node.leaf_hi = int(arrays["leaf_hi"][i])
+            node.interior_size = int(arrays["interior_size"][i])
+            node.children = [
+                int(c)
+                for c in ragged_row(arrays["children"], arrays["children_off"], i)
+            ]
+            node.borders = ragged_row(arrays["borders"], arrays["borders_off"], i)
+            node.border_pos = {int(b): j for j, b in enumerate(node.borders)}
+            rows, cols = (int(v) for v in arrays["shortcut_shape"][i])
+            node.shortcut_matrix = ragged_row(
+                arrays["shortcut"], arrays["shortcut_off"], i
+            ).reshape(rows, cols)
+            if node.is_leaf:
+                node.vertices = ragged_row(
+                    arrays["vertices"], arrays["vertices_off"], i
+                )
+            self.rnets.append(node)
+        self.root = 0
+        self.leaf_of = np.asarray(arrays["leaf_of"], dtype=np.int64)
+        self.leaf_index_of = np.asarray(arrays["leaf_index_of"], dtype=np.int64)
+        self._build_query_structures()
+        return self
+
 
 class AssociationDirectory:
     """ROAD's decoupled object index (Sections 3.4 / 7.4).
@@ -418,3 +516,21 @@ class AssociationDirectory:
             + 2 * len(self._rnet_count)
             + self.objects.nbytes
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The object set is the whole state — occupancy is derived."""
+        return {
+            "objects": self.objects,
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, road: RoadIndex, arrays: Dict[str, np.ndarray]
+    ) -> "AssociationDirectory":
+        ad = cls(road, np.asarray(arrays["objects"], dtype=np.int64))
+        ad._build_time = float(arrays["build_time"])
+        return ad

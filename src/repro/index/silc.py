@@ -34,6 +34,8 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.pathfinding.bulk import bulk_sssp
 from repro.spatial.morton import morton_encode_array
+from repro.utils.arrays import concat_ragged, ragged_row
+from repro.utils.counters import BUILD_COUNTERS
 
 INF = float("inf")
 
@@ -109,6 +111,7 @@ class SILCIndex:
     def __init__(self, graph: Graph, grid_bits: int = 11, batch_size: int = 64) -> None:
         self.graph = graph
         self.grid_bits = grid_bits
+        BUILD_COUNTERS.add("build:silc")
         start = time.perf_counter()
         self._build(batch_size)
         self._build_time = time.perf_counter() - start
@@ -405,3 +408,83 @@ class SILCIndex:
         return float(
             np.mean([len(b.starts) for b in self._sources if b is not None])
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten all per-source Morton-list blocks into numpy arrays.
+
+        Per-source block arrays concatenate with one shared offsets array
+        (all six block attributes have the same per-source lengths);
+        mixed-cell exception maps flatten to (source, target, color)
+        triplets.
+        """
+        sources = self._sources
+        starts, off = concat_ragged([b.starts for b in sources], np.int64)
+        colors, _ = concat_ragged([b.colors for b in sources], np.int64)
+        lam_minus, _ = concat_ragged([b.lam_minus for b in sources], np.float64)
+        lam_plus, _ = concat_ragged([b.lam_plus for b in sources], np.float64)
+        dn_min, _ = concat_ragged([b.dn_min for b in sources], np.float64)
+        dn_max, _ = concat_ragged([b.dn_max for b in sources], np.float64)
+        exc_src: List[int] = []
+        exc_target: List[int] = []
+        exc_color: List[int] = []
+        for s, b in enumerate(sources):
+            if b.exceptions:
+                for t, c in b.exceptions.items():
+                    exc_src.append(s)
+                    exc_target.append(int(t))
+                    exc_color.append(int(c))
+        return {
+            "order": self._order,
+            "codes_sorted": self._codes_sorted,
+            "pos_of": self._pos_of,
+            "block_starts": starts,
+            "block_off": off,
+            "block_colors": colors,
+            "block_lam_minus": lam_minus,
+            "block_lam_plus": lam_plus,
+            "block_dn_min": dn_min,
+            "block_dn_max": dn_max,
+            "exc_src": np.asarray(exc_src, dtype=np.int64),
+            "exc_target": np.asarray(exc_target, dtype=np.int64),
+            "exc_color": np.asarray(exc_color, dtype=np.int64),
+            "grid_bits": np.asarray(self.grid_bits),
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(cls, graph: Graph, arrays: Dict[str, np.ndarray]) -> "SILCIndex":
+        """Rehydrate without re-running the all-pairs preprocessing."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.grid_bits = int(arrays["grid_bits"])
+        self._build_time = float(arrays["build_time"])
+        self._order = np.asarray(arrays["order"], dtype=np.int64)
+        self._codes_sorted = np.asarray(arrays["codes_sorted"], dtype=np.int64)
+        self._pos_of = np.asarray(arrays["pos_of"], dtype=np.int64)
+        self._degree = np.diff(graph.vertex_start)
+
+        exceptions: Dict[int, Dict[int, int]] = {}
+        for s, t, c in zip(
+            arrays["exc_src"], arrays["exc_target"], arrays["exc_color"]
+        ):
+            exceptions.setdefault(int(s), {})[int(t)] = int(c)
+
+        off = arrays["block_off"]
+        n = graph.num_vertices
+        self._sources = []
+        for s in range(n):
+            self._sources.append(
+                _SourceBlocks(
+                    ragged_row(arrays["block_starts"], off, s),
+                    ragged_row(arrays["block_colors"], off, s),
+                    ragged_row(arrays["block_lam_minus"], off, s),
+                    ragged_row(arrays["block_lam_plus"], off, s),
+                    ragged_row(arrays["block_dn_min"], off, s),
+                    ragged_row(arrays["block_dn_max"], off, s),
+                    exceptions.get(s),
+                )
+            )
+        return self

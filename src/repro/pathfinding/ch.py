@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.arrays import concat_ragged, ragged_row
+from repro.utils.counters import BUILD_COUNTERS, Counters, NULL_COUNTERS
 from repro.utils.pqueue import BinaryHeap
 
 INF = float("inf")
@@ -46,6 +47,7 @@ class ContractionHierarchy:
     def __init__(self, graph: Graph, witness_settle_limit: int = 40) -> None:
         self.graph = graph
         self.witness_settle_limit = witness_settle_limit
+        BUILD_COUNTERS.add("build:ch")
         start = time.perf_counter()
         self._build()
         self._build_time = time.perf_counter() - start
@@ -263,3 +265,50 @@ class ContractionHierarchy:
         """Approximate in-memory footprint (upward edges + ranks)."""
         edges = sum(len(lst) for lst in self.up)
         return edges * 12 + self.rank.nbytes
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Ranks plus the upward graph in CSR form."""
+        targets, off = concat_ragged(
+            [np.asarray([v for v, _ in lst], dtype=np.int64) for lst in self.up],
+            np.int64,
+        )
+        weights, _ = concat_ragged(
+            [np.asarray([w for _, w in lst], dtype=np.float64) for lst in self.up],
+            np.float64,
+        )
+        return {
+            "rank": self.rank,
+            "up_target": targets,
+            "up_weight": weights,
+            "up_off": off,
+            "num_shortcuts": np.asarray(self.num_shortcuts),
+            "witness_settle_limit": np.asarray(self.witness_settle_limit),
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, graph: Graph, arrays: Dict[str, np.ndarray]
+    ) -> "ContractionHierarchy":
+        """Rehydrate without re-running contraction."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.witness_settle_limit = int(arrays["witness_settle_limit"])
+        self.num_shortcuts = int(arrays["num_shortcuts"])
+        self._build_time = float(arrays["build_time"])
+        self.rank = np.asarray(arrays["rank"], dtype=np.int64)
+        off = arrays["up_off"]
+        self.up = [
+            [
+                (int(v), float(w))
+                for v, w in zip(
+                    ragged_row(arrays["up_target"], off, u),
+                    ragged_row(arrays["up_weight"], off, u),
+                )
+            ]
+            for u in range(graph.num_vertices)
+        ]
+        return self

@@ -20,12 +20,13 @@ are reported by :meth:`size_bytes` / :meth:`average_label_size`.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.arrays import concat_ragged, ragged_row
+from repro.utils.counters import BUILD_COUNTERS, Counters, NULL_COUNTERS
 from repro.utils.pqueue import BinaryHeap
 
 INF = float("inf")
@@ -38,6 +39,7 @@ class HubLabels:
 
     def __init__(self, graph: Graph, order: Optional[Sequence[int]] = None) -> None:
         self.graph = graph
+        BUILD_COUNTERS.add("build:hub_labels")
         start = time.perf_counter()
         if order is None:
             order = self._default_order()
@@ -154,3 +156,32 @@ class HubLabels:
 
     def size_bytes(self) -> int:
         return sum(h.nbytes + d.nbytes for h, d in zip(self._hubs, self._dists))
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Per-vertex labels flattened into hub/distance arrays + offsets."""
+        hubs, off = concat_ragged(self._hubs, np.int32)
+        dists, _ = concat_ragged(self._dists, np.float64)
+        return {
+            "hubs": hubs,
+            "dists": dists,
+            "label_off": off,
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(cls, graph: Graph, arrays: Dict[str, np.ndarray]) -> "HubLabels":
+        """Rehydrate without re-running the pruned Dijkstras."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self._build_time = float(arrays["build_time"])
+        off = arrays["label_off"]
+        self._hubs = [
+            ragged_row(arrays["hubs"], off, v) for v in range(graph.num_vertices)
+        ]
+        self._dists = [
+            ragged_row(arrays["dists"], off, v) for v in range(graph.num_vertices)
+        ]
+        return self

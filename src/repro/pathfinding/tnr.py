@@ -22,13 +22,14 @@ skip the pruned local search, matching TNR's long-range fast path.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.graph.graph import Graph
 from repro.pathfinding.ch import ContractionHierarchy
-from repro.utils.counters import Counters, NULL_COUNTERS
+from repro.utils.arrays import concat_ragged, ragged_row
+from repro.utils.counters import BUILD_COUNTERS, Counters, NULL_COUNTERS
 
 INF = float("inf")
 
@@ -47,6 +48,7 @@ class TransitNodeRouting:
         locality_cells: int = 4,
     ) -> None:
         self.graph = graph
+        BUILD_COUNTERS.add("build:tnr")
         start = time.perf_counter()
         self.ch = ch if ch is not None else ContractionHierarchy(graph)
         if num_transit is None:
@@ -179,3 +181,69 @@ class TransitNodeRouting:
 
     def average_access_nodes(self) -> float:
         return float(np.mean([len(a) for a in self.access]))
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent index store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Transit table, access nodes and locality grid as flat arrays.
+
+        The underlying CH is *not* embedded — it is its own store
+        artifact; ``from_arrays`` receives it as a dependency.
+        """
+        acc_nodes, off = concat_ragged(
+            [np.asarray([a for a, _ in lst], dtype=np.int64) for lst in self.access],
+            np.int64,
+        )
+        acc_dists, _ = concat_ragged(
+            [np.asarray([d for _, d in lst], dtype=np.float64) for lst in self.access],
+            np.float64,
+        )
+        return {
+            "transit_nodes": np.asarray(self.transit_nodes, dtype=np.int64),
+            "table": self.table,
+            "access_node": acc_nodes,
+            "access_dist": acc_dists,
+            "access_off": off,
+            "cell_x": self.cell_x,
+            "cell_y": self.cell_y,
+            "grid_size": np.asarray(self.grid_size),
+            "locality_cells": np.asarray(self.locality_cells),
+            "grid_origin": np.asarray([self._gx0, self._gy0]),
+            "cell_span": np.asarray([self._cell_w, self._cell_h]),
+            "build_time": np.asarray(self._build_time),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: Graph,
+        arrays: Dict[str, np.ndarray],
+        ch: ContractionHierarchy,
+    ) -> "TransitNodeRouting":
+        """Rehydrate over an existing (built or loaded) CH."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.ch = ch
+        self.grid_size = int(arrays["grid_size"])
+        self.locality_cells = int(arrays["locality_cells"])
+        self._build_time = float(arrays["build_time"])
+        self.transit_nodes = [int(v) for v in arrays["transit_nodes"]]
+        self.transit_set = set(self.transit_nodes)
+        self.table = np.asarray(arrays["table"], dtype=np.float64)
+        off = arrays["access_off"]
+        self.access = [
+            [
+                (int(a), float(d))
+                for a, d in zip(
+                    ragged_row(arrays["access_node"], off, v),
+                    ragged_row(arrays["access_dist"], off, v),
+                )
+            ]
+            for v in range(graph.num_vertices)
+        ]
+        self._gx0, self._gy0 = (float(v) for v in arrays["grid_origin"])
+        self._cell_w, self._cell_h = (float(v) for v in arrays["cell_span"])
+        self.cell_x = np.asarray(arrays["cell_x"], dtype=np.int64)
+        self.cell_y = np.asarray(arrays["cell_y"], dtype=np.int64)
+        return self

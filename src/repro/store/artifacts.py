@@ -1,0 +1,181 @@
+"""Artifact kinds: how each index maps to store arrays and back.
+
+Every road-network index in the engine's :class:`IndexCache` has an
+``IndexKind`` record here pairing its ``to_arrays`` dump with the
+``from_arrays`` loader (and the loader's dependencies — TNR rides on a
+CH that is its own artifact).  The engine's warm-start path and the CLI
+``build`` command both go through :func:`load_index` / :func:`save_index`
+so the set of persistable kinds lives in exactly one place.
+
+Graphs and object sets get the same treatment (``save_graph`` /
+``load_graph``, ``save_objects`` / ``load_objects``): a store directory
+is a self-contained experiment input, not just an index cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.index.gtree import GTree
+from repro.index.road import RoadIndex
+from repro.index.silc import SILCIndex
+from repro.pathfinding.ch import ContractionHierarchy
+from repro.pathfinding.hub_labels import HubLabels
+from repro.pathfinding.tnr import TransitNodeRouting
+from repro.store.store import IndexStore, artifact_key
+
+
+@dataclass(frozen=True)
+class IndexKind:
+    """Serialization contract for one persistable index kind."""
+
+    name: str
+    #: ``loader(graph, arrays, deps) -> index``; ``deps`` maps dependency
+    #: kind name -> already-loaded index instance.
+    loader: Callable[..., object]
+    #: Other kinds the loader needs (e.g. TNR needs a CH).
+    depends: Tuple[str, ...] = ()
+    #: Kinds only the *builder* draws on (hub labels order from the CH
+    #: rank); a warm load does not need them, but prebuild tooling
+    #: obtains them first so per-kind build timings stay honest.
+    build_depends: Tuple[str, ...] = ()
+
+
+def _load_tnr(graph: Graph, arrays: Dict[str, np.ndarray], deps: Dict[str, object]):
+    return TransitNodeRouting.from_arrays(graph, arrays, ch=deps["ch"])
+
+
+INDEX_KINDS: Dict[str, IndexKind] = {
+    "gtree": IndexKind(
+        "gtree", lambda g, a, deps: GTree.from_arrays(g, a)
+    ),
+    "road": IndexKind(
+        "road", lambda g, a, deps: RoadIndex.from_arrays(g, a)
+    ),
+    "silc": IndexKind(
+        "silc", lambda g, a, deps: SILCIndex.from_arrays(g, a)
+    ),
+    "ch": IndexKind(
+        "ch", lambda g, a, deps: ContractionHierarchy.from_arrays(g, a)
+    ),
+    "hub_labels": IndexKind(
+        "hub_labels",
+        lambda g, a, deps: HubLabels.from_arrays(g, a),
+        build_depends=("ch",),
+    ),
+    "tnr": IndexKind("tnr", _load_tnr, depends=("ch",)),
+}
+
+
+def expand_kinds(kinds: Sequence[str]) -> list:
+    """Dependency-closed, dependency-first ordering of index kinds.
+
+    Both loader deps (TNR rides on a CH artifact) and build-only deps
+    (hub labels draw their order from the CH rank) come before their
+    dependents, so prebuild tooling obtains each kind exactly once and
+    per-kind build timings reflect only that kind's own work.
+    """
+    out: list = []
+
+    def add(kind: str) -> None:
+        if kind not in INDEX_KINDS:
+            raise ValueError(
+                f"unknown index kind {kind!r}; persistable kinds: "
+                f"{', '.join(INDEX_KINDS)}"
+            )
+        spec = INDEX_KINDS[kind]
+        for dep in (*spec.depends, *spec.build_depends):
+            add(dep)
+        if kind not in out:
+            out.append(kind)
+
+    for kind in kinds:
+        add(kind)
+    return out
+
+
+def save_index(
+    store: IndexStore,
+    kind: str,
+    graph: Graph,
+    index,
+    params: Optional[Dict[str, object]] = None,
+):
+    """Persist ``index`` (which must expose ``to_arrays``/``build_time``)."""
+    if kind not in INDEX_KINDS:
+        raise ValueError(
+            f"unknown index kind {kind!r}; persistable kinds: "
+            f"{', '.join(INDEX_KINDS)}"
+        )
+    key = artifact_key(graph, params)
+    return store.put(
+        kind,
+        key,
+        index.to_arrays(),
+        build_time_s=index.build_time(),
+        params=params,
+    )
+
+
+def load_index(
+    store: IndexStore,
+    kind: str,
+    graph: Graph,
+    params: Optional[Dict[str, object]] = None,
+    deps: Optional[Dict[str, object]] = None,
+):
+    """Load the ``kind`` index built for (graph, params) from the store.
+
+    Raises :class:`~repro.store.store.ArtifactMissing` on a clean miss
+    and :class:`~repro.store.store.StoreCorruption` when the store is
+    damaged.
+    """
+    spec = INDEX_KINDS[kind]
+    missing = [d for d in spec.depends if d not in (deps or {})]
+    if missing:
+        raise ValueError(
+            f"loading {kind!r} requires deps: {', '.join(missing)}"
+        )
+    arrays = store.get(kind, artifact_key(graph, params))
+    return spec.loader(graph, arrays, deps or {})
+
+
+# ----------------------------------------------------------------------
+# Graphs and object sets
+# ----------------------------------------------------------------------
+def save_graph(store: IndexStore, graph: Graph):
+    """Persist the CSR graph itself, keyed by its own content hash."""
+    return store.put("graph", artifact_key(graph), graph.to_arrays())
+
+
+def load_graph(store: IndexStore, key: str) -> Graph:
+    return Graph.from_arrays(store.get("graph", key))
+
+
+def save_objects(
+    store: IndexStore,
+    graph: Graph,
+    objects: Sequence[int],
+    params: Optional[Dict[str, object]] = None,
+):
+    """Persist an object (POI) vertex set for ``graph``."""
+    key = artifact_key(graph, params)
+    return store.put(
+        "objects",
+        key,
+        {"objects": np.asarray(list(objects), dtype=np.int64)},
+        params=params,
+    )
+
+
+def load_objects(
+    store: IndexStore, graph: Graph, params: Optional[Dict[str, object]] = None
+) -> np.ndarray:
+    return np.asarray(
+        store.get("objects", artifact_key(graph, params))["objects"],
+        dtype=np.int64,
+    )

@@ -49,3 +49,10 @@ class Counters:
 
 #: Shared disabled counters; used as default everywhere.
 NULL_COUNTERS = Counters(enabled=False)
+
+#: Process-wide build-event counters.  Every road-network index records a
+#: ``build:<name>`` event when it runs its (expensive) constructor, and
+#: *not* when it is rehydrated via ``from_arrays`` — which is how the
+#: store tests assert that a warm-started ``Workbench`` performs zero
+#: index builds.
+BUILD_COUNTERS = Counters()
