@@ -21,6 +21,12 @@ Examples::
     python -m repro store ls --store ./store
     python -m repro store gc --store ./store
 
+    # serve queries concurrently from stdin over warm indexes
+    python -m repro serve --vertices 2000 --store ./store --workers 4
+
+    # drive the server with a synthetic workload, report QPS + latency
+    python -m repro loadtest --vertices 2000 --workload hotspot --requests 500
+
     # list every registered kNN method
     python -m repro methods
 
@@ -31,9 +37,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -98,28 +105,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
-    graph = _build_graph(args)
-    store = _open_store(args)
-    objects = None
-    if store is not None:
-        # Prefer the object set `repro build --density` persisted for
-        # this (graph, density, seed); regenerate on a clean miss.
-        try:
-            objects = [
-                int(o)
-                for o in load_objects(
-                    store,
-                    graph,
-                    params={"density": args.density, "seed": args.seed},
-                )
-            ]
-        except ArtifactMissing:
-            objects = None
-        if objects is not None and len(objects) < args.k:
-            objects = None  # saved without the k-minimum this query needs
-    if objects is None:
-        objects = uniform_objects(graph, args.density, seed=args.seed, minimum=args.k)
-    engine = QueryEngine(graph, objects, seed=args.seed, store=store)
+    graph, objects, engine = _engine_and_objects(args)
     query = args.query if args.query is not None else graph.num_vertices // 2
     print(f"{graph}, |O|={len(objects)}, query={query}, k={args.k}")
     methods = args.methods or engine.available_methods()
@@ -337,6 +323,226 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_and_objects(args: argparse.Namespace):
+    """Graph + object set + engine shared by query/serve/loadtest.
+
+    With a ``--store``, the object set `repro build --density` persisted
+    for this (graph, density, seed) is preferred (regenerated on a clean
+    miss or when saved without the k-minimum this run needs) and the
+    engine warm-starts its indexes from disk.
+    """
+    graph = _build_graph(args)
+    store = _open_store(args)
+    objects = None
+    if store is not None:
+        try:
+            objects = [
+                int(o)
+                for o in load_objects(
+                    store,
+                    graph,
+                    params={"density": args.density, "seed": args.seed},
+                )
+            ]
+        except ArtifactMissing:
+            objects = None
+        if objects is not None and len(objects) < args.k:
+            objects = None
+    if objects is None:
+        objects = uniform_objects(
+            graph, args.density, seed=args.seed, minimum=args.k
+        )
+    engine = QueryEngine(graph, objects, seed=args.seed, store=store)
+    return graph, objects, engine
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the concurrent server, answering queries read from stdin.
+
+    Protocol: one request per line, ``VERTEX K [METHOD]``; EOF stops the
+    server and prints its statistics.  Index builds happen during
+    warmup, never while serving — point ``--store`` at a prebuilt store
+    and warmup is a millisecond disk load.
+    """
+    from repro.server import KNNServer
+
+    error = _validate_methods([args.method])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    graph, objects, engine = _engine_and_objects(args)
+    server = KNNServer(
+        engine,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_capacity,
+        default_deadline_s=args.deadline,
+    )
+    server.start(warmup_methods=[args.method])
+    builds_before = sum(BUILD_COUNTERS.as_dict().values())
+    print(
+        f"{graph}, |O|={len(objects)}, {args.workers} workers; "
+        "reading 'VERTEX K [METHOD]' lines from stdin"
+    )
+    try:
+        for line in sys.stdin:
+            parts = line.split()
+            if not parts:
+                continue
+            try:
+                vertex = int(parts[0])
+                k = int(parts[1]) if len(parts) > 1 else args.k
+                method = parts[2] if len(parts) > 2 else args.method
+            except ValueError:
+                print(f"bad request line: {line.strip()!r}", file=sys.stderr)
+                continue
+            response = server.query(vertex, k, method)
+            if response.ok:
+                shown = ", ".join(
+                    f"v{n.vertex}@{n.distance:.2f}" for n in response.result
+                )
+                extra = " [cached]" if response.cache_hit else ""
+                print(
+                    f"ok {response.latency_s * 1e3:.2f}ms "
+                    f"{response.result.method} [{shown}]{extra}"
+                )
+            else:
+                print(f"{response.status}: {response.error}", file=sys.stderr)
+    finally:
+        server.stop()
+    stats = server.stats()
+    builds = sum(BUILD_COUNTERS.as_dict().values()) - builds_before
+    print(
+        f"served {stats['counts'].get('ok', 0)} requests, "
+        f"cache hit rate {stats['cache']['hit_rate']:.0%}, "
+        f"index builds while serving: {builds}"
+    )
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive the server with a synthetic workload and report the numbers.
+
+    Prints throughput and p50/p95/p99 latency, compares against the
+    single-threaded sequential baseline (``engine.query`` on the same
+    workload), verifies server answers against the baseline's, and
+    writes the machine-readable report to ``--json`` (default
+    ``BENCH_server.json``) for trajectory tracking.
+    """
+    from repro.server import (
+        KNNServer,
+        category_switching_workload,
+        diurnal_workload,
+        hotspot_workload,
+        run_closed_loop,
+        run_open_loop,
+        sequential_baseline,
+        uniform_workload,
+    )
+
+    error = _validate_methods([args.method])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    graph, objects, engine = _engine_and_objects(args)
+    categories: Optional[Dict[str, Sequence[int]]] = None
+    if args.workload == "categories":
+        categories = {
+            name: uniform_objects(
+                graph, args.density, seed=args.seed + offset, minimum=args.k
+            )
+            for offset, name in enumerate(
+                ("restaurants", "fuel", "parking"), start=1
+            )
+        }
+        items = category_switching_workload(
+            graph, args.requests, args.k, list(categories),
+            switch_every=args.switch_every, method=args.method, seed=args.seed,
+        )
+    elif args.workload == "uniform":
+        items = uniform_workload(
+            graph, args.requests, args.k, method=args.method, seed=args.seed
+        )
+    elif args.workload == "hotspot":
+        items = hotspot_workload(
+            graph, args.requests, args.k, hot_vertices=args.hot_vertices,
+            skew=args.skew, method=args.method, seed=args.seed,
+        )
+    else:  # diurnal
+        items = diurnal_workload(
+            graph, args.requests, args.k, hot_vertices=args.hot_vertices,
+            skew=args.skew, method=args.method, seed=args.seed,
+        )
+    server = KNNServer(
+        engine,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_capacity,
+        categories=categories,
+        default_deadline_s=args.deadline,
+    )
+    print(f"{graph}, |O|={len(objects)}, workload={args.workload}, "
+          f"{args.requests} requests, k={args.k}")
+    baseline_qps = None
+    baseline_results = None
+    if args.baseline:
+        # The baseline runs first on the same engines, so it also warms
+        # every index/algorithm — serve time then performs zero builds.
+        engines = {None: engine}
+        for name in categories or {}:
+            engines[name] = server.engine_for(name)
+        baseline_qps, baseline_results = sequential_baseline(engines, items)
+        print(f"  sequential baseline   {baseline_qps:8.0f} qps")
+    server.start(warmup_methods=[args.method])
+    builds_before = sum(BUILD_COUNTERS.as_dict().values())
+    if args.open_loop or args.workload == "diurnal":
+        report = run_open_loop(server, items, time_scale=args.time_scale)
+    else:
+        report = run_closed_loop(server, items, concurrency=args.concurrency)
+    server.stop()
+    serve_builds = sum(BUILD_COUNTERS.as_dict().values()) - builds_before
+    report.baseline_qps = baseline_qps
+    mismatches = 0
+    if baseline_results is not None:
+        # Server answers must be byte-identical to direct engine.query.
+        # (A None slot is a driver-side timeout, reported separately.)
+        for truth, response in zip(baseline_results, report.responses):
+            if response is not None and response.ok and response.result != truth:
+                mismatches += 1
+    payload = report.to_dict()
+    payload["serve_time_index_builds"] = serve_builds
+    print(
+        f"  server ({args.workers} workers) {report.throughput_qps:8.0f} qps   "
+        f"p50 {report.latency_p50_ms:.2f}ms  p95 {report.latency_p95_ms:.2f}ms  "
+        f"p99 {report.latency_p99_ms:.2f}ms"
+    )
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(report.status_counts.items()))
+    print(f"  statuses: {counts}")
+    cache = payload["server"]["cache"]
+    print(
+        f"  cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_rate']:.0%}), coalesced "
+        f"{payload['server']['batch']['coalesced_hits']}"
+    )
+    print(f"  index builds while serving: {serve_builds}")
+    if report.speedup is not None:
+        print(f"  speedup over sequential: {report.speedup:.1f}x")
+    # Write the report before the verification verdict: a failing run is
+    # exactly the one whose numbers must not be lost.
+    payload["baseline_mismatches"] = mismatches
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  report written to {args.json}")
+    if mismatches:
+        print(f"  !! {mismatches} responses disagree with baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     degrees = np.diff(graph.vertex_start)
@@ -413,6 +619,58 @@ def build_parser() -> argparse.ArgumentParser:
     sgc.add_argument("--all", action="store_true",
                      help="clear the entire store")
     sgc.set_defaults(func=cmd_store_gc)
+
+    def serving_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=4,
+                       help="worker thread count (default 4)")
+        p.add_argument("--max-queue", type=int, default=1024,
+                       help="bounded request queue (admission control)")
+        p.add_argument("--max-batch", type=int, default=32,
+                       help="max requests one worker drains per dispatch")
+        p.add_argument("--cache-capacity", type=int, default=4096,
+                       help="result-cache entries (0 disables)")
+        p.add_argument("--deadline", type=float,
+                       help="default per-request deadline in seconds")
+        p.add_argument("--density", type=float, default=0.01)
+        p.add_argument("--k", type=int, default=5)
+        p.add_argument("--method", default="auto",
+                       help="method for served queries ('auto' plans per set)")
+        p.add_argument("--store", help="index store directory to warm-start from")
+
+    sv = sub.add_parser(
+        "serve", help="serve kNN queries concurrently from stdin"
+    )
+    common(sv)
+    serving_knobs(sv)
+    sv.set_defaults(func=cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest", help="drive the server with a synthetic workload"
+    )
+    common(lt)
+    serving_knobs(lt)
+    lt.add_argument("--workload", default="hotspot",
+                    choices=("uniform", "hotspot", "diurnal", "categories"))
+    lt.add_argument("--requests", type=int, default=500)
+    lt.add_argument("--concurrency", type=int, default=16,
+                    help="closed-loop client count")
+    lt.add_argument("--open-loop", action="store_true",
+                    help="inject at workload arrival times instead of "
+                         "closed-loop (diurnal always runs open-loop)")
+    lt.add_argument("--time-scale", type=float, default=0.05,
+                    help="open-loop schedule compression (0.05 replays a "
+                         "60s diurnal trace in 3s)")
+    lt.add_argument("--hot-vertices", type=int, default=64,
+                    help="hotspot/diurnal: size of the Zipf hot set")
+    lt.add_argument("--skew", type=float, default=1.1,
+                    help="hotspot/diurnal: Zipf skew exponent")
+    lt.add_argument("--switch-every", type=int, default=10,
+                    help="categories: requests between category hops")
+    lt.add_argument("--no-baseline", dest="baseline", action="store_false",
+                    help="skip the sequential baseline (and verification)")
+    lt.add_argument("--json", default="BENCH_server.json",
+                    help="machine-readable report path ('' disables)")
+    lt.set_defaults(func=cmd_loadtest)
 
     m = sub.add_parser("methods", help="list registered kNN methods")
     common(m, default_vertices=0)

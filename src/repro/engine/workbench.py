@@ -19,6 +19,7 @@ experiment harness and back-compat imports.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -82,8 +83,41 @@ class IndexCache:
         self._ch: Optional[ContractionHierarchy] = None
         self._hub_labels: Optional[HubLabels] = None
         self._tnr: Optional[TransitNodeRouting] = None
+        # Per-kind build locks (created on demand under the guard): two
+        # server workers racing to the same cold index serialise on its
+        # kind's lock and the loser reuses the winner's build, while
+        # different kinds still build in parallel.
+        self._build_locks: Dict[str, threading.Lock] = {}
+        self._build_locks_guard = threading.Lock()
 
     # ------------------------------------------------------------------
+    def _build_lock(self, kind: str) -> threading.Lock:
+        with self._build_locks_guard:
+            lock = self._build_locks.get(kind)
+            if lock is None:
+                lock = self._build_locks[kind] = threading.Lock()
+            return lock
+
+    def _ensure(self, kind: str, obtain: Callable[[], object]):
+        """Double-checked, per-kind-locked memoisation of one index slot.
+
+        The unlocked fast path costs one attribute read once the index
+        exists; a cold slot takes the kind's lock, re-checks (another
+        thread may have built while we waited) and only then builds —
+        so an index is never constructed twice, which the concurrency
+        regression test asserts via ``BUILD_COUNTERS``.
+        """
+        slot = "_" + kind
+        current = getattr(self, slot)
+        if current is not None:
+            return current
+        with self._build_lock(kind):
+            current = getattr(self, slot)
+            if current is None:
+                current = obtain()
+                setattr(self, slot, current)
+            return current
+
     def _obtain(
         self,
         kind: str,
@@ -114,25 +148,21 @@ class IndexCache:
     # ------------------------------------------------------------------
     @property
     def gtree(self) -> GTree:
-        if self._gtree is None:
-            self._gtree = self._obtain(
-                "gtree",
-                {"tau": self._tau, "seed": self.seed},
-                lambda: GTree(self.graph, tau=self._tau, seed=self.seed),
-            )
-        return self._gtree
+        return self._ensure("gtree", lambda: self._obtain(
+            "gtree",
+            {"tau": self._tau, "seed": self.seed},
+            lambda: GTree(self.graph, tau=self._tau, seed=self.seed),
+        ))
 
     @property
     def road(self) -> RoadIndex:
-        if self._road is None:
-            self._road = self._obtain(
-                "road",
-                {"levels": self._road_levels, "seed": self.seed},
-                lambda: RoadIndex(
-                    self.graph, levels=self._road_levels, seed=self.seed
-                ),
-            )
-        return self._road
+        return self._ensure("road", lambda: self._obtain(
+            "road",
+            {"levels": self._road_levels, "seed": self.seed},
+            lambda: RoadIndex(
+                self.graph, levels=self._road_levels, seed=self.seed
+            ),
+        ))
 
     def _silc_limit(self) -> int:
         """Overridable hook so subclasses can point at their own cap."""
@@ -162,16 +192,15 @@ class IndexCache:
             reason = self.silc_unavailable_reason()
             if reason is not None:
                 raise MemoryError(reason)
-            # The build parameters are pinned here and passed explicitly
-            # so the artifact key and the constructed index can never
-            # disagree (and a manually saved non-default SILC is never
-            # served to this cache).
-            self._silc = self._obtain(
-                "silc",
-                {"grid_bits": 11},
-                lambda: SILCIndex(self.graph, grid_bits=11),
-            )
-        return self._silc
+        # The build parameters are pinned here and passed explicitly
+        # so the artifact key and the constructed index can never
+        # disagree (and a manually saved non-default SILC is never
+        # served to this cache).
+        return self._ensure("silc", lambda: self._obtain(
+            "silc",
+            {"grid_bits": 11},
+            lambda: SILCIndex(self.graph, grid_bits=11),
+        ))
 
     @property
     def silc_available(self) -> bool:
@@ -179,43 +208,40 @@ class IndexCache:
 
     @property
     def ch(self) -> ContractionHierarchy:
-        if self._ch is None:
-            self._ch = self._obtain(
-                "ch",
-                {"witness_settle_limit": 40},
-                lambda: ContractionHierarchy(self.graph, witness_settle_limit=40),
-            )
-        return self._ch
+        return self._ensure("ch", lambda: self._obtain(
+            "ch",
+            {"witness_settle_limit": 40},
+            lambda: ContractionHierarchy(self.graph, witness_settle_limit=40),
+        ))
 
     @property
     def hub_labels(self) -> HubLabels:
-        if self._hub_labels is None:
+        def build() -> HubLabels:
+            order = list(np.argsort(-self.ch.rank))
+            return HubLabels(self.graph, order=order)
 
-            def build() -> HubLabels:
-                order = list(np.argsort(-self.ch.rank))
-                return HubLabels(self.graph, order=order)
-
-            self._hub_labels = self._obtain(
-                "hub_labels", {"order": "ch-rank"}, build
-            )
-        return self._hub_labels
+        return self._ensure("hub_labels", lambda: self._obtain(
+            "hub_labels", {"order": "ch-rank"}, build
+        ))
 
     @property
     def tnr(self) -> TransitNodeRouting:
-        if self._tnr is None:
-            self._tnr = self._obtain(
-                "tnr",
-                {"num_transit": None, "grid_size": 32, "locality_cells": 4},
-                lambda: TransitNodeRouting(
-                    self.graph,
-                    ch=self.ch,
-                    num_transit=None,
-                    grid_size=32,
-                    locality_cells=4,
-                ),
-                deps={"ch": self.ch} if self.store is not None else None,
-            )
-        return self._tnr
+        # Resolving ``self.ch`` inside the tnr lock takes the ch lock
+        # while holding tnr's — safe because dependency edges only point
+        # one way (ch never locks a dependant), so the lock order is
+        # acyclic.  The same holds for hub_labels -> ch.
+        return self._ensure("tnr", lambda: self._obtain(
+            "tnr",
+            {"num_transit": None, "grid_size": 32, "locality_cells": 4},
+            lambda: TransitNodeRouting(
+                self.graph,
+                ch=self.ch,
+                num_transit=None,
+                grid_size=32,
+                locality_cells=4,
+            ),
+            deps={"ch": self.ch} if self.store is not None else None,
+        ))
 
     # ------------------------------------------------------------------
     def prebuild(self, kinds: Sequence[str]) -> List[str]:

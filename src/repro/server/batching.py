@@ -1,0 +1,68 @@
+"""Micro-batching: coalesce and group in-flight requests.
+
+A worker never serves requests one at a time.  It drains whatever is
+waiting (up to ``max_batch``) and hands the batch to :func:`coalesce`:
+
+* requests with the same ``(category, vertex, k, method)`` key collapse
+  into one :class:`BatchGroup` — a single engine computation fans its
+  result out to every waiter (flash crowds on one POI cost one query);
+* groups are ordered so all groups of one category are adjacent — the
+  per-object-set work (the category's engine, its object indexes, its
+  cached algorithm instances) is touched once per batch per category
+  rather than ping-ponging between object sets request by request.
+
+Grouping is pure bookkeeping over the drained list; it holds no locks
+and knows nothing about engines, so it is trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.server.request import PendingRequest
+
+
+@dataclass
+class BatchGroup:
+    """All pending requests in one batch answerable by one computation."""
+
+    category: Optional[str]
+    vertex: int
+    k: int
+    method: str
+    waiters: List[PendingRequest] = field(default_factory=list)
+
+    @property
+    def coalesced(self) -> int:
+        """How many requests ride along for free (beyond the first)."""
+        return len(self.waiters) - 1
+
+
+def coalesce(batch: List[PendingRequest]) -> List[BatchGroup]:
+    """Group a drained batch into per-key :class:`BatchGroup` lists.
+
+    Output order: categories in first-appearance order, and within a
+    category, keys in first-appearance order — deterministic, and all
+    same-object-set work adjacent.
+    """
+    by_key: Dict[Tuple, BatchGroup] = {}
+    by_category: Dict[Optional[str], List[BatchGroup]] = {}
+    for pending in batch:
+        req = pending.request
+        key = req.coalesce_key()
+        group = by_key.get(key)
+        if group is None:
+            group = BatchGroup(
+                category=req.category,
+                vertex=int(req.vertex),
+                k=int(req.k),
+                method=req.method,
+            )
+            by_key[key] = group
+            by_category.setdefault(req.category, []).append(group)
+        group.waiters.append(pending)
+    ordered: List[BatchGroup] = []
+    for groups in by_category.values():
+        ordered.extend(groups)
+    return ordered

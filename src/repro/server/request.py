@@ -1,0 +1,112 @@
+"""Request/response primitives for the concurrent kNN server.
+
+A client submits a :class:`ServerRequest` (a vertex, ``k``, a method
+choice, an optional POI category and an optional deadline) and receives a
+:class:`PendingRequest` — a small thread-safe future that resolves to a
+:class:`ServerResponse` once a worker has answered, rejected or expired
+the request.  The payload of a successful response is the engine's
+ordinary :class:`~repro.engine.query.KNNResult`, so server answers are
+byte-identical to direct ``QueryEngine.query`` calls on the same input.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.query import KNNResult
+
+#: Response statuses.  Plain strings (not an Enum) so they serialise into
+#: the loadtest JSON report without adapters.
+OK = "ok"
+REJECTED = "rejected"  # admission control: bounded queue was full
+DEADLINE_EXCEEDED = "deadline_exceeded"  # expired while queued
+ERROR = "error"  # the query raised (e.g. MethodUnavailable)
+
+STATUSES = (OK, REJECTED, DEADLINE_EXCEEDED, ERROR)
+
+
+@dataclass(frozen=True)
+class ServerRequest:
+    """One kNN request as the server sees it.
+
+    ``category`` selects one of the server's named object sets (``None``
+    is the default set); ``deadline_s`` is a relative time budget — a
+    request still queued when it runs out is answered
+    :data:`DEADLINE_EXCEEDED` instead of occupying a worker.
+    """
+
+    vertex: int
+    k: int
+    method: str = "auto"
+    category: Optional[str] = None
+    deadline_s: Optional[float] = None
+    #: ``time.monotonic()`` at submission; set by the server.
+    submitted_at: float = field(default=0.0, compare=False)
+
+    def coalesce_key(self):
+        """Requests sharing this key are answered by one computation."""
+        return (self.category, int(self.vertex), int(self.k), self.method)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_s is None:
+            return False
+        now = time.monotonic() if now is None else now
+        return now - self.submitted_at > self.deadline_s
+
+
+@dataclass(frozen=True)
+class ServerResponse:
+    """The terminal state of one request."""
+
+    request: ServerRequest
+    status: str
+    result: Optional[KNNResult] = None
+    error: Optional[str] = None
+    #: Submission-to-completion wall time (queueing + service).
+    latency_s: float = 0.0
+    #: True when the answer came from the result cache.
+    cache_hit: bool = False
+    #: True when this request was coalesced onto another's computation.
+    coalesced: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class PendingRequest:
+    """A thread-safe one-shot future for a submitted request.
+
+    ``result(timeout)`` blocks until a worker (or admission control)
+    completes the request and returns the :class:`ServerResponse`; it
+    raises ``TimeoutError`` if the response does not arrive in time —
+    the request itself is *not* cancelled.
+    """
+
+    __slots__ = ("request", "_event", "_response")
+
+    def __init__(self, request: ServerRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: Optional[ServerResponse] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def complete(self, response: ServerResponse) -> None:
+        """Resolve the future (first completion wins; later ones are no-ops)."""
+        if self._response is None:
+            self._response = response
+            self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> ServerResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.coalesce_key()} not completed "
+                f"within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response

@@ -1,0 +1,423 @@
+"""`KNNServer` — a concurrent kNN query service over one road network.
+
+The serving architecture follows the paper's own split between expensive
+preprocessing and microsecond queries, hardened for sustained concurrent
+load:
+
+* **admission control** — a bounded request queue; a submit against a
+  full queue completes immediately as :data:`~repro.server.request.REJECTED`
+  instead of growing an unbounded backlog;
+* **worker pool** — N threads share one warm :class:`IndexCache` (load it
+  from a :class:`repro.store.IndexStore` and serve time performs *zero*
+  index builds — ``BUILD_COUNTERS`` proves it);
+* **micro-batching** — each worker drains up to ``max_batch`` waiting
+  requests, coalesces identical ``(category, vertex, k, method)`` keys
+  into one computation, and orders groups so same-object-set work is
+  paid once per batch (see :mod:`repro.server.batching`);
+* **result cache** — a shared LRU keyed on (graph fingerprint, object
+  fingerprint, vertex, k, method); swapping a POI category with
+  :meth:`KNNServer.with_objects` invalidates exactly the outgoing
+  entries (see :mod:`repro.server.cache`);
+* **deadlines** — a request still queued past its ``deadline_s`` is
+  answered :data:`~repro.server.request.DEADLINE_EXCEEDED` without ever
+  occupying a worker.
+
+Typical use::
+
+    engine = QueryEngine(graph, objects, store=store)   # warm indexes
+    with KNNServer(engine, workers=4) as server:
+        pending = server.submit(vertex=42, k=5)
+        response = pending.result(timeout=5.0)
+        assert response.result == engine.query(42, k=5)  # byte-identical
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.engine import QueryEngine
+from repro.server.batching import BatchGroup, coalesce
+from repro.server.cache import ResultCache, objects_fingerprint, result_key
+from repro.server.request import (
+    DEADLINE_EXCEEDED,
+    ERROR,
+    OK,
+    REJECTED,
+    PendingRequest,
+    ServerRequest,
+    ServerResponse,
+)
+
+
+class ServerClosed(RuntimeError):
+    """Submit after :meth:`KNNServer.stop` (or before :meth:`start`)."""
+
+
+class UnknownCategory(KeyError):
+    """A request named a POI category the server does not hold."""
+
+    def __init__(self, category: str, known: Sequence[Optional[str]]) -> None:
+        names = ", ".join(sorted(str(c) for c in known))
+        super().__init__(
+            f"unknown category {category!r}; server holds: {names}"
+        )
+        self.category = category
+
+
+class KNNServer:
+    """Serve kNN queries concurrently from a pool of worker threads.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`QueryEngine` for the default object set.  Its
+        :class:`IndexCache` is shared by every category engine, so road
+        network indexes exist exactly once in the process.
+    workers:
+        Worker thread count.
+    max_queue:
+        Bound on queued (admitted, unserved) requests — the admission
+        control knob.  Submits beyond it are answered ``rejected``.
+    max_batch:
+        Most requests one worker drains per dispatch round.
+    cache_capacity:
+        Result-cache entries (0 disables result caching).
+    categories:
+        Optional ``{name: object_vertex_ids}`` POI categories; each is
+        served by ``engine.with_objects(ids)`` over the shared index
+        cache.  Requests select one via ``category=``; ``None`` is the
+        default engine.
+    default_deadline_s:
+        Deadline applied to requests that do not carry their own.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        workers: int = 4,
+        max_queue: int = 1024,
+        max_batch: int = 32,
+        cache_capacity: int = 4096,
+        categories: Optional[Dict[str, Sequence[int]]] = None,
+        default_deadline_s: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.default_deadline_s = default_deadline_s
+        self.cache = ResultCache(cache_capacity)
+        self._graph_fp = engine.graph.fingerprint()
+        self._engines: Dict[Optional[str], QueryEngine] = {None: engine}
+        self._objects_fp: Dict[Optional[str], str] = {
+            None: objects_fingerprint(engine.objects)
+        }
+        for name, objects in (categories or {}).items():
+            self._engines[name] = engine.with_objects(objects)
+            self._objects_fp[name] = objects_fingerprint(objects)
+        # One mutex guards the queue, the stats and the engine/category
+        # maps; workers block on the condition, never spin.
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._queue: collections.deque = collections.deque()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._stats = collections.Counter()
+        self._batch_sizes: collections.Counter = collections.Counter()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, warmup_methods: Optional[Sequence[str]] = None) -> "KNNServer":
+        """Spin up the worker pool (idempotent).
+
+        ``warmup_methods`` resolves and instantiates those methods for
+        every category *before* accepting traffic, so the first request
+        never pays algorithm construction.  With a store-backed engine
+        the indexes load from disk; either way nothing is built twice —
+        the index cache build paths are locked per key.
+        """
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        for name in warmup_methods or ():
+            for engine in self._engines.values():
+                resolved = engine.resolve_method(name)
+                if engine.objects:
+                    engine.algorithm(resolved)
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"knn-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the pool; with ``drain`` (default) serve the backlog first."""
+        dropped: List[PendingRequest] = []
+        with self._lock:
+            if not self._running:
+                return
+            if not drain:
+                while self._queue:
+                    dropped.append(self._queue.popleft())
+            self._running = False
+            self._work_ready.notify_all()
+        for pending in dropped:
+            self._finish(pending, ServerResponse(
+                request=pending.request,
+                status=REJECTED,
+                error="server stopping",
+                latency_s=self._latency(pending.request),
+            ))
+        for t in self._threads:
+            t.join(timeout)
+        self._threads.clear()
+
+    def __enter__(self) -> "KNNServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        vertex: int,
+        k: int,
+        method: str = "auto",
+        *,
+        category: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> PendingRequest:
+        """Enqueue one request; returns immediately with its future.
+
+        Admission control happens here: a full queue (or a stopped
+        server) completes the future at once with status ``rejected``.
+        Unknown categories raise :class:`UnknownCategory` — that is a
+        client programming error, not a load condition.
+        """
+        if category not in self._engines:
+            raise UnknownCategory(category, list(self._engines))
+        request = ServerRequest(
+            vertex=int(vertex),
+            k=int(k),
+            method=method,
+            category=category,
+            deadline_s=(
+                self.default_deadline_s if deadline_s is None else deadline_s
+            ),
+            submitted_at=time.monotonic(),
+        )
+        pending = PendingRequest(request)
+        with self._lock:
+            if not self._running:
+                raise ServerClosed("server is not running; call start()")
+            if len(self._queue) >= self.max_queue:
+                self._stats["rejected"] += 1
+                pending.complete(ServerResponse(
+                    request=request, status=REJECTED,
+                    error=f"queue full ({self.max_queue})",
+                ))
+                return pending
+            self._stats["submitted"] += 1
+            self._queue.append(pending)
+            self._work_ready.notify()
+        return pending
+
+    def query(
+        self,
+        vertex: int,
+        k: int,
+        method: str = "auto",
+        *,
+        category: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> ServerResponse:
+        """Synchronous convenience: submit and wait for the response."""
+        return self.submit(
+            vertex, k, method, category=category, deadline_s=deadline_s
+        ).result(timeout)
+
+    def with_objects(
+        self, objects: Sequence[int], category: Optional[str] = None
+    ) -> None:
+        """Swap the object set served under ``category`` (live).
+
+        Installs a fresh engine over the shared index cache (only the
+        small object indexes rebuild) and invalidates every result-cache
+        entry recorded under the outgoing object fingerprint, so no
+        request can ever observe the old POI set again.  New categories
+        may be installed the same way.
+        """
+        new_engine = self._engines[None].with_objects(objects)
+        new_fp = objects_fingerprint(objects)
+        with self._lock:
+            old_fp = self._objects_fp.get(category)
+            self._engines[category] = new_engine
+            self._objects_fp[category] = new_fp
+        if old_fp is not None and old_fp != new_fp:
+            self.cache.invalidate(old_fp)
+
+    def categories(self) -> List[Optional[str]]:
+        with self._lock:
+            return list(self._engines)
+
+    def engine_for(self, category: Optional[str] = None) -> QueryEngine:
+        with self._lock:
+            try:
+                return self._engines[category]
+            except KeyError:
+                raise UnknownCategory(category, list(self._engines)) from None
+
+    def _category_state(self, category: Optional[str]):
+        """The (engine, objects fingerprint) pair, read atomically.
+
+        Workers must never mix the two across a concurrent
+        :meth:`with_objects` swap: pairing the old engine with the new
+        fingerprint would cache the old object set's answer under the
+        new key — a stale POI served forever.
+        """
+        with self._lock:
+            return self._engines[category], self._objects_fp[category]
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            for group in coalesce(batch):
+                self._serve_group(group)
+
+    def _next_batch(self) -> Optional[List[PendingRequest]]:
+        """Block for work, then drain up to ``max_batch`` requests."""
+        with self._work_ready:
+            while self._running and not self._queue:
+                self._work_ready.wait(timeout=0.1)
+            if not self._queue:
+                if not self._running:
+                    return None  # drained and stopping
+                return []  # spurious wakeup under load; loop again
+            batch = []
+            while self._queue and len(batch) < self.max_batch:
+                batch.append(self._queue.popleft())
+            return batch
+
+    def _latency(self, request: ServerRequest) -> float:
+        return time.monotonic() - request.submitted_at
+
+    def _finish(self, pending: PendingRequest, response: ServerResponse) -> None:
+        with self._lock:
+            self._stats[response.status] += 1
+            if response.cache_hit:
+                self._stats["cache_hits"] += 1
+            if response.coalesced:
+                self._stats["coalesced_hits"] += 1
+        pending.complete(response)
+
+    def _serve_group(self, group: BatchGroup) -> None:
+        """Answer every waiter of one coalesced group."""
+        with self._lock:
+            self._batch_sizes[len(group.waiters)] += 1
+        now = time.monotonic()
+        live: List[PendingRequest] = []
+        for pending in group.waiters:
+            if pending.request.expired(now):
+                self._finish(pending, ServerResponse(
+                    request=pending.request,
+                    status=DEADLINE_EXCEEDED,
+                    error=f"expired after {pending.request.deadline_s}s in queue",
+                    latency_s=now - pending.request.submitted_at,
+                ))
+            else:
+                live.append(pending)
+        if not live:
+            return
+        engine, objects_fp = self._category_state(group.category)
+        cache_hit = False
+        result = None
+        error: Optional[str] = None
+        try:
+            key = result_key(
+                self._graph_fp,
+                objects_fp,
+                group.vertex,
+                group.k,
+                # Cache under the planner's resolution so "auto" and the
+                # explicit method it resolves to share entries.  This can
+                # raise (UnknownMethod on a bad client-supplied name), so
+                # it runs inside the answer-the-waiters guard.
+                engine.resolve_method(group.method, group.k),
+            )
+            result = self.cache.get(key)
+            if result is not None:
+                cache_hit = True
+            else:
+                result = engine.query(group.vertex, group.k, method=group.method)
+                self.cache.put(key, result)
+        except Exception as exc:  # answer the waiters, don't kill the worker
+            error = f"{type(exc).__name__}: {exc}"
+        for i, pending in enumerate(live):
+            if error is not None:
+                response = ServerResponse(
+                    request=pending.request, status=ERROR, error=error,
+                    latency_s=self._latency(pending.request),
+                )
+            else:
+                response = ServerResponse(
+                    request=pending.request,
+                    status=OK,
+                    result=result,
+                    latency_s=self._latency(pending.request),
+                    cache_hit=cache_hit,
+                    coalesced=i > 0,
+                )
+            self._finish(pending, response)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """A point-in-time stats snapshot (counts, batching, cache)."""
+        with self._lock:
+            counts = dict(self._stats)
+            sizes = dict(self._batch_sizes)
+            queued = len(self._queue)
+        dispatches = sum(sizes.values())
+        requests = sum(n * c for n, c in sizes.items())
+        return {
+            "queued": queued,
+            "workers": self.workers,
+            "max_queue": self.max_queue,
+            "max_batch": self.max_batch,
+            "counts": counts,
+            "batch": {
+                "dispatches": dispatches,
+                "mean_group_size": round(requests / dispatches, 3)
+                if dispatches
+                else 0.0,
+                "coalesced_hits": counts.get("coalesced_hits", 0),
+            },
+            "cache": self.cache.stats(),
+        }
