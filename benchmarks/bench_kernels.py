@@ -1,0 +1,282 @@
+#!/usr/bin/env python
+"""Kernel benchmark: python vs array hot paths, with equality guards.
+
+Measures the three headline kernels of the array layer on one synthetic
+road network and writes ``BENCH_kernels.json``:
+
+* point-to-point Dijkstra (``dijkstra_distance``), both kernels;
+* INE kNN (``INE`` graph variant), both kernels;
+* index builds — G-tree full construction and the TNR transit table —
+  both kernels.
+
+Every timed comparison is also a *correctness gate*: answers must be
+byte-identical and settled-vertex counters must match exactly between
+kernels, and index distances are cross-checked against plain Dijkstra.
+A failed check exits non-zero, so the CI ``perf-smoke`` job (which runs
+``--quick``) turns any silent fast-path drift into a red build.
+
+Usage::
+
+    python benchmarks/bench_kernels.py                # ~10k vertices
+    python benchmarks/bench_kernels.py --quick        # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:  # direct script runs without install
+    sys.path.insert(0, str(REPO_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.graph.generators import road_network  # noqa: E402
+from repro.index.gtree import GTree  # noqa: E402
+from repro.knn.ine import INE  # noqa: E402
+from repro.objects import uniform_objects  # noqa: E402
+from repro.pathfinding.ch import ContractionHierarchy  # noqa: E402
+from repro.pathfinding.dijkstra import (  # noqa: E402
+    dijkstra_distance,
+)
+from repro.pathfinding.tnr import TransitNodeRouting  # noqa: E402
+from repro.utils.counters import Counters  # noqa: E402
+
+KERNELS = ("python", "array")
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_p2p(graph, pairs, repeats: int, failures: List[str]) -> Dict:
+    answers: Dict[str, List] = {}
+    times: Dict[str, float] = {}
+    for kernel in KERNELS:
+        rows = []
+        for s, t in pairs:
+            c = Counters()
+            d = dijkstra_distance(graph, s, t, counters=c, kernel=kernel)
+            rows.append((d, c["dijkstra_settled"]))
+        answers[kernel] = rows
+        times[kernel] = _best_of(
+            repeats,
+            lambda k=kernel: [
+                dijkstra_distance(graph, s, t, kernel=k) for s, t in pairs
+            ],
+        )
+    for (dp, cp), (da, ca) in zip(answers["python"], answers["array"]):
+        if dp != da:
+            failures.append(f"p2p distance mismatch: {dp!r} != {da!r}")
+        if cp != ca:
+            failures.append(f"p2p settled-counter mismatch: {cp} != {ca}")
+    per_query = {k: times[k] / len(pairs) * 1e3 for k in KERNELS}
+    return {
+        "queries": len(pairs),
+        "python_ms_per_query": per_query["python"],
+        "array_ms_per_query": per_query["array"],
+        "speedup": per_query["python"] / per_query["array"],
+        "distances_identical": all(
+            a[0] == b[0] for a, b in zip(answers["python"], answers["array"])
+        ),
+        "settled_counters_identical": all(
+            a[1] == b[1] for a, b in zip(answers["python"], answers["array"])
+        ),
+    }
+
+
+def bench_ine(graph, objects, queries, k: int, repeats: int,
+              failures: List[str]) -> Dict:
+    algs = {kern: INE(graph, objects, kernel=kern) for kern in KERNELS}
+    answers: Dict[str, List] = {}
+    times: Dict[str, float] = {}
+    for kernel, alg in algs.items():
+        rows = []
+        for q in queries:
+            c = Counters()
+            res = alg.knn(q, k, counters=c)
+            rows.append((res, c["ine_settled"]))
+        answers[kernel] = rows
+        times[kernel] = _best_of(
+            repeats, lambda a=alg: [a.knn(q, k) for q in queries]
+        )
+    for (rp, cp), (ra, ca) in zip(answers["python"], answers["array"]):
+        if rp != ra:
+            failures.append(f"INE answer mismatch: {rp!r} != {ra!r}")
+        if cp != ca:
+            failures.append(f"INE settled-counter mismatch: {cp} != {ca}")
+    per_query = {kern: times[kern] / len(queries) * 1e3 for kern in KERNELS}
+    return {
+        "queries": len(queries),
+        "k": k,
+        "objects": len(objects),
+        "python_ms_per_query": per_query["python"],
+        "array_ms_per_query": per_query["array"],
+        "speedup": per_query["python"] / per_query["array"],
+        "answers_identical": all(
+            a[0] == b[0] for a, b in zip(answers["python"], answers["array"])
+        ),
+        "settled_counters_identical": all(
+            a[1] == b[1] for a, b in zip(answers["python"], answers["array"])
+        ),
+    }
+
+
+def bench_gtree_build(graph, sample_pairs, failures: List[str]) -> Dict:
+    times: Dict[str, float] = {}
+    trees: Dict[str, GTree] = {}
+    for kernel in KERNELS:
+        best = float("inf")
+        for _ in range(2):  # best-of-2 damps allocator/GC noise
+            start = time.perf_counter()
+            trees[kernel] = GTree(graph, kernel=kernel)
+            best = min(best, time.perf_counter() - start)
+        times[kernel] = best
+    worst = 0.0
+    for s, t in sample_pairs:
+        ref = dijkstra_distance(graph, s, t)
+        for kernel in KERNELS:
+            d = trees[kernel].distance(s, t)
+            rel = abs(d - ref) / max(abs(ref), 1.0)
+            worst = max(worst, rel)
+            if rel > 1e-9:
+                failures.append(
+                    f"gtree[{kernel}] distance off by {rel:.2e} on ({s},{t})"
+                )
+    return {
+        "python_s": times["python"],
+        "array_s": times["array"],
+        "speedup": times["python"] / times["array"],
+        "verified_pairs": len(sample_pairs),
+        "worst_rel_error_vs_dijkstra": worst,
+    }
+
+
+def bench_tnr_build(graph, sample_pairs, failures: List[str]) -> Dict:
+    # One shared CH isolates the kernels' difference: the transit table.
+    ch = ContractionHierarchy(graph)
+    times: Dict[str, float] = {}
+    indexes: Dict[str, TransitNodeRouting] = {}
+    for kernel in KERNELS:
+        start = time.perf_counter()
+        indexes[kernel] = TransitNodeRouting(graph, ch=ch, kernel=kernel)
+        times[kernel] = time.perf_counter() - start
+    table_diff = float(
+        np.max(np.abs(indexes["python"].table - indexes["array"].table))
+    ) if indexes["python"].table.size else 0.0
+    if table_diff > 1e-9:
+        failures.append(f"TNR tables differ by {table_diff:.2e}")
+    for s, t in sample_pairs:
+        ref = dijkstra_distance(graph, s, t)
+        for kernel in KERNELS:
+            d = indexes[kernel].distance(s, t)
+            if abs(d - ref) > 1e-9 * max(abs(ref), 1.0):
+                failures.append(
+                    f"tnr[{kernel}] distance {d!r} != dijkstra {ref!r}"
+                )
+    return {
+        "python_s": times["python"],
+        "array_s": times["array"],
+        "speedup": times["python"] / times["array"],
+        "transit_nodes": len(indexes["array"].transit_nodes),
+        "max_table_diff": table_diff,
+        "verified_pairs": len(sample_pairs),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vertices", type=int, default=10000)
+    parser.add_argument("--tnr-vertices", type=int, default=3000,
+                        help="graph size for the TNR build comparison (its "
+                             "python kernel runs t^2/2 CH queries)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--queries", type=int, default=40)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--density", type=float, default=0.01)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (small graph, fewer queries)")
+    parser.add_argument("--json", default="BENCH_kernels.json",
+                        help="report path ('' disables)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.vertices = min(args.vertices, 2000)
+        args.tnr_vertices = min(args.tnr_vertices, 1000)
+        args.queries = min(args.queries, 15)
+
+    failures: List[str] = []
+    graph = road_network(args.vertices, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    pairs = [
+        (int(rng.integers(graph.num_vertices)),
+         int(rng.integers(graph.num_vertices)))
+        for _ in range(args.queries)
+    ]
+    queries = [int(rng.integers(graph.num_vertices))
+               for _ in range(args.queries)]
+    objects = uniform_objects(graph, args.density, seed=args.seed,
+                              minimum=args.k)
+    print(f"{graph}: {args.queries} queries, k={args.k}, "
+          f"density={args.density}")
+
+    p2p = bench_p2p(graph, pairs, args.repeats, failures)
+    print(f"  p2p dijkstra   python {p2p['python_ms_per_query']:8.2f} ms   "
+          f"array {p2p['array_ms_per_query']:8.2f} ms   "
+          f"{p2p['speedup']:5.1f}x")
+    ine = bench_ine(graph, objects, queries, args.k, args.repeats, failures)
+    print(f"  INE kNN        python {ine['python_ms_per_query']:8.2f} ms   "
+          f"array {ine['array_ms_per_query']:8.2f} ms   "
+          f"{ine['speedup']:5.1f}x")
+    gtree = bench_gtree_build(graph, pairs[: min(20, len(pairs))], failures)
+    print(f"  gtree build    python {gtree['python_s']:8.2f} s    "
+          f"array {gtree['array_s']:8.2f} s    {gtree['speedup']:5.1f}x")
+
+    tnr_graph = road_network(args.tnr_vertices, seed=args.seed + 1)
+    tnr_rng = np.random.default_rng(args.seed + 1)
+    tnr_pairs = [
+        (int(tnr_rng.integers(tnr_graph.num_vertices)),
+         int(tnr_rng.integers(tnr_graph.num_vertices)))
+        for _ in range(min(10, args.queries))
+    ]
+    tnr = bench_tnr_build(tnr_graph, tnr_pairs, failures)
+    print(f"  tnr table      python {tnr['python_s']:8.2f} s    "
+          f"array {tnr['array_s']:8.2f} s    {tnr['speedup']:5.1f}x   "
+          f"(|T|={tnr['transit_nodes']}, V={tnr_graph.num_vertices})")
+
+    report = {
+        "bench": "kernels",
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "seed": args.seed,
+        "quick": args.quick,
+        "p2p_dijkstra": p2p,
+        "ine_knn": ine,
+        "gtree_build": gtree,
+        "tnr_build": {**tnr, "vertices": tnr_graph.num_vertices},
+        "failures": failures,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"  report written to {args.json}")
+    if failures:
+        for line in failures:
+            print(f"  !! {line}", file=sys.stderr)
+        return 1
+    print("  all cross-kernel equality checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

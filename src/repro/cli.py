@@ -107,7 +107,10 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 2
     graph, objects, engine = _engine_and_objects(args)
     query = args.query if args.query is not None else graph.num_vertices // 2
-    print(f"{graph}, |O|={len(objects)}, query={query}, k={args.k}")
+    print(
+        f"{graph}, |O|={len(objects)}, query={query}, k={args.k}, "
+        f"kernel={engine.kernel}"
+    )
     methods = args.methods or engine.available_methods()
     reference: Optional[List[float]] = None
     reference_method: Optional[str] = None
@@ -141,7 +144,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     graph = _build_graph(args)
-    engine = QueryEngine(graph, [], seed=args.seed, store=_open_store(args))
+    engine = QueryEngine(
+        graph, [], seed=args.seed, store=_open_store(args),
+        kernel=getattr(args, "kernel", None),
+    )
     queries = random_queries(graph, args.queries, seed=args.seed)
     methods = args.methods or engine.available_methods()
     densities = args.densities or [0.001, 0.01, 0.1]
@@ -352,7 +358,10 @@ def _engine_and_objects(args: argparse.Namespace):
         objects = uniform_objects(
             graph, args.density, seed=args.seed, minimum=args.k
         )
-    engine = QueryEngine(graph, objects, seed=args.seed, store=store)
+    engine = QueryEngine(
+        graph, objects, seed=args.seed, store=store,
+        kernel=getattr(args, "kernel", None),
+    )
     return graph, objects, engine
 
 
@@ -569,6 +578,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--co", help="DIMACS .co coordinate file")
         p.add_argument("--travel-time", action="store_true",
                        help="use travel-time edge weights")
+        p.add_argument("--kernel", choices=("python", "array"),
+                       help="hot-path kernel (default: array; 'python' runs "
+                            "the reference per-edge loops)")
 
     q = sub.add_parser("query", help="answer one kNN query with every method")
     common(q)

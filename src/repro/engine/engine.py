@@ -50,6 +50,14 @@ class QueryEngine:
     density_threshold:
         Override for the auto planner's INE/IER crossover density
         (default :data:`repro.engine.planner.AUTO_DENSITY_THRESHOLD`).
+    kernel:
+        Hot-path kernel for query algorithms and index builds:
+        ``"array"`` (the resolved default — allocation-free, vectorised,
+        whole-frontier kernels) or ``"python"`` (the reference per-edge
+        loops).  Both kernels return identical answers; ``explain``
+        reports the kernel each method ran on.  When the engine creates
+        its own :class:`IndexCache` the knob also selects the index
+        build kernel; an existing workbench keeps its own.
     store:
         Optional :class:`repro.store.IndexStore`.  Indexes are then
         loaded from disk when a matching artifact exists and saved after
@@ -71,7 +79,11 @@ class QueryEngine:
         road_levels: Optional[int] = None,
         density_threshold: Optional[float] = None,
         store=None,
+        kernel: Optional[str] = None,
     ) -> None:
+        from repro.kernels.config import resolve_kernel
+
+        self.kernel = resolve_kernel(kernel)
         if workbench is None:
             if isinstance(graph_or_workbench, IndexCache):
                 workbench = graph_or_workbench
@@ -82,6 +94,7 @@ class QueryEngine:
                     tau=tau,
                     road_levels=road_levels,
                     store=store,
+                    kernel=self.kernel,
                 )
             else:
                 raise ValueError("provide a graph or a workbench")
@@ -136,14 +149,24 @@ class QueryEngine:
         get_method(method)  # raises UnknownMethod with the known list
         return method
 
+    def method_kernel(self, method: str) -> Optional[str]:
+        """The kernel ``method`` runs on here, or None if it has no knob."""
+        spec = get_method(method)
+        return self.kernel if spec.supports_kernel else None
+
     def algorithm(self, method: str, **kwargs) -> KNNAlgorithm:
         """The cached algorithm instance for ``method`` (built on first use).
+
+        Kernel-aware methods receive the engine's resolved ``kernel``
+        unless the caller overrides it explicitly in ``kwargs``.
 
         Thread-safe: server workers sharing one engine double-check
         under a lock, so concurrent first uses construct each instance
         exactly once (the underlying road-network indexes are likewise
         built once — ``IndexCache`` holds per-kind build locks).
         """
+        if "kernel" not in kwargs and get_method(method).supports_kernel:
+            kwargs["kernel"] = self.kernel
         key = (method, tuple(sorted(kwargs.items())))
         alg = self._algorithms.get(key)
         if alg is None:
@@ -160,6 +183,7 @@ class QueryEngine:
             workbench=self.workbench,
             objects=objects,
             density_threshold=self.density_threshold,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------------
@@ -212,7 +236,7 @@ class QueryEngine:
             # before any algorithm instance is built.
             return KNNResult(
                 query=q, method=resolved, neighbors=(), counters=c,
-                time_s=0.0,
+                time_s=0.0, kernel=self.method_kernel(resolved),
             )
         alg = self.algorithm(resolved)
         start = time.perf_counter()
@@ -233,7 +257,7 @@ class QueryEngine:
         )
         return KNNResult(
             query=q, method=resolved, neighbors=neighbors, counters=c,
-            time_s=elapsed,
+            time_s=elapsed, kernel=self.method_kernel(resolved),
         )
 
     def batch(

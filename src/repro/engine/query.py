@@ -68,6 +68,9 @@ class KNNResult:
     neighbors: Tuple[Neighbor, ...]
     counters: Counters
     time_s: float
+    #: Hot-path kernel the method ran on (``"python"`` / ``"array"``), or
+    #: ``None`` for methods without a kernel knob.
+    kernel: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Tuple-list back-compat surface

@@ -214,20 +214,46 @@ def _bisect_local(
     return side
 
 
+def _geometric_bisect(
+    graph: Graph, vs: np.ndarray, fraction: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Median-cut bisection on the wider coordinate axis (vectorised).
+
+    The array-kernel partitioner: road networks are embedded planar
+    graphs, so cutting at the weighted median of the wider axis yields
+    cuts whose border counts match the multilevel partitioner's (measured
+    on the synthetic suite) at a tiny fraction of its cost — every step
+    is one ``argpartition``, no per-edge Python work.  Exactly balanced
+    by construction.
+    """
+    px, py = graph.x[vs], graph.y[vs]
+    axis = px if np.ptp(px) >= np.ptp(py) else py
+    k = max(1, min(len(vs) - 1, int(round(len(vs) * fraction))))
+    idx = np.argpartition(axis, k)
+    return vs[idx[:k]], vs[idx[k:]]
+
+
 def partition_graph(
     graph: Graph,
     vertices: Optional[Sequence[int]] = None,
     fanout: int = 4,
     seed: int = 0,
+    method: str = "multilevel",
 ) -> List[np.ndarray]:
     """Partition (a subgraph of) ``graph`` into ``fanout`` balanced parts.
 
     Returns a list of ``fanout`` arrays of global vertex ids.  Parts are
     balanced within ~10% and the partitioner minimises cut edges, which is
     what keeps G-tree/ROAD border sets small.
+
+    ``method`` selects the bisection kernel: ``"multilevel"`` (the
+    coarsen/grow/refine scheme above, reference) or ``"geometric"``
+    (vectorised median cuts, used by array-kernel index builds).
     """
     if fanout < 2:
         raise ValueError("fanout must be at least 2")
+    if method not in ("multilevel", "geometric"):
+        raise ValueError(f"unknown partition method {method!r}")
     if vertices is None:
         vertices = np.arange(graph.num_vertices)
     vertices = np.asarray(vertices, dtype=np.int64)
@@ -240,11 +266,14 @@ def partition_graph(
             return out
         left_parts = parts // 2
         fraction = left_parts / parts
-        adj = _induced_adjacency(graph, vs)
-        side = _bisect_local(adj, [1] * len(vs), fraction, rng)
-        side_arr = np.asarray(side)
-        left = vs[side_arr == 0]
-        right = vs[side_arr == 1]
+        if method == "geometric":
+            left, right = _geometric_bisect(graph, vs, fraction)
+        else:
+            adj = _induced_adjacency(graph, vs)
+            side = _bisect_local(adj, [1] * len(vs), fraction, rng)
+            side_arr = np.asarray(side)
+            left = vs[side_arr == 0]
+            right = vs[side_arr == 1]
         if len(left) == 0 or len(right) == 0:
             # Degenerate cut: fall back to an arbitrary balanced split.
             half = max(1, int(len(vs) * fraction))
@@ -285,13 +314,15 @@ def recursive_partition(
     max_leaf_size: Optional[int] = None,
     max_levels: Optional[int] = None,
     seed: int = 0,
+    method: str = "multilevel",
 ) -> PartitionNode:
     """Recursively partition ``graph`` into a hierarchy.
 
     Stops splitting a node when it has at most ``max_leaf_size`` vertices
     (G-tree's leaf capacity tau) or when ``max_levels`` levels below the
     root have been created (ROAD's level parameter l).  At least one of the
-    two stopping criteria must be given.
+    two stopping criteria must be given.  ``method`` picks the bisection
+    kernel (see :func:`partition_graph`).
     """
     if max_leaf_size is None and max_levels is None:
         raise ValueError("provide max_leaf_size and/or max_levels")
@@ -302,7 +333,9 @@ def recursive_partition(
         done_by_level = max_levels is not None and level >= max_levels
         if done_by_size or done_by_level or len(vs) <= fanout:
             return node
-        parts = partition_graph(graph, vs, fanout, seed=seed + level * 997 + len(vs))
+        parts = partition_graph(
+            graph, vs, fanout, seed=seed + level * 997 + len(vs), method=method
+        )
         parts = [p for p in parts if len(p) > 0]
         if len(parts) <= 1:
             return node

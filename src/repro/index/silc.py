@@ -318,10 +318,53 @@ class SILCIndex:
             return 0.0, 0.0
         blocks = self._sources[vertex]
         b = blocks.block_of(int(self._pos_of[target]))
-        de = self.graph.euclidean(vertex, target)
-        lb = max(blocks.lam_minus[b] * de, blocks.dn_min[b])
-        ub = min(blocks.lam_plus[b] * de, blocks.dn_max[b])
+        # np.hypot, not math.hypot: CPython's hypot rounds differently in
+        # the last ulp, and the scalar path must agree bit-for-bit with
+        # the vectorised :meth:`intervals_from` (the construction-time
+        # lambda ratios are np.hypot-based too).
+        de = float(
+            np.hypot(
+                self.graph.x[vertex] - self.graph.x[target],
+                self.graph.y[vertex] - self.graph.y[target],
+            )
+        )
+        # fmax/fmin drop a NaN side (an all-infinite-ratio block at zero
+        # Euclidean distance makes lam * de = inf * 0 = NaN), falling
+        # back to the always-valid per-block network-distance bounds —
+        # a NaN key would otherwise reach the priority queues.
+        with np.errstate(invalid="ignore"):
+            lb = np.fmax(blocks.lam_minus[b] * de, blocks.dn_min[b])
+            ub = np.fmin(blocks.lam_plus[b] * de, blocks.dn_max[b])
         return float(lb), float(ub)
+
+    def intervals_from(
+        self, vertex: int, targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`interval_from` for a batch of targets.
+
+        One ``searchsorted`` over the Morton list covers the whole batch
+        — the array-kernel form Distance Browsing uses to seed its
+        candidate queue.  Entry-for-entry identical to the scalar path.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        blocks = self._sources[vertex]
+        pos = self._pos_of[targets]
+        b = np.searchsorted(blocks.starts, pos, side="right") - 1
+        de = np.hypot(
+            self.graph.x[targets] - self.graph.x[vertex],
+            self.graph.y[targets] - self.graph.y[vertex],
+        )
+        # fmax/fmin, matching the scalar path: a NaN lambda bound (inf * 0
+        # at zero Euclidean distance) falls back to the per-block
+        # network-distance bounds instead of poisoning the heap keys.
+        with np.errstate(invalid="ignore"):
+            lb = np.fmax(blocks.lam_minus[b] * de, blocks.dn_min[b])
+            ub = np.fmin(blocks.lam_plus[b] * de, blocks.dn_max[b])
+        same = targets == vertex
+        if same.any():
+            lb[same] = 0.0
+            ub[same] = 0.0
+        return lb, ub
 
     def refine(
         self,

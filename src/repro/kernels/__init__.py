@@ -1,0 +1,68 @@
+"""Array-native hot-path kernels.
+
+This package is the rung *above* the paper's Section 6.2 implementation
+ladder: where the paper stops at "flat CSR arrays + binary heap without
+decrease-key", these kernels remove the remaining per-edge interpreter
+and allocation overhead:
+
+* :class:`ArrayHeap` — packed-word priority queue; float64 keys, int32
+  payloads, no tuple allocation, no per-push sequence counter
+  (:mod:`repro.kernels.heap`).
+* :class:`SSSPScratch` / :func:`borrow` — preallocated distance/settled
+  buffers with generation-stamp reset, so repeated queries on one graph
+  allocate nothing (:mod:`repro.kernels.scratch`).
+* :func:`relax_edges` — vectorised edge relaxation over a CSR neighbor
+  slice with bulk heap insertion (:mod:`repro.kernels.relax`).
+* Whole-frontier kernels — :func:`p2p_distance`, :func:`sssp_bounded`,
+  :func:`distances_to_targets`, :func:`nearest_objects` — run the entire
+  expansion at C speed with an expanding radius limit and
+  settle-equivalent counters (:mod:`repro.kernels.sssp`).
+* :func:`bulk_sssp` — the multi-source distance-matrix kernel index
+  builders fan preprocessing out over (re-exported from
+  :mod:`repro.pathfinding.bulk`).
+
+Every algorithm exposes the implementations behind a
+``kernel="python" | "array"`` knob (:func:`resolve_kernel`; engine
+default ``array``) and both kernels compute identical answers with
+identical settled-vertex counters — asserted by the property tests and
+the ``perf-smoke`` CI job, so the fast path can never silently drift
+from the reference path.
+"""
+
+from repro.kernels.config import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    default_kernel,
+    resolve_kernel,
+)
+from repro.kernels.heap import ArrayHeap
+from repro.kernels.relax import relax_edges, sssp_arrayheap
+from repro.kernels.scratch import SSSPScratch, borrow
+from repro.kernels.sssp import (
+    distances_to_targets,
+    nearest_objects,
+    p2p_distance,
+    prepared_objects,
+    sssp_bounded,
+    sssp_distances,
+)
+from repro.pathfinding.bulk import bulk_sssp
+
+__all__ = [
+    "ArrayHeap",
+    "SSSPScratch",
+    "borrow",
+    "relax_edges",
+    "sssp_arrayheap",
+    "p2p_distance",
+    "sssp_bounded",
+    "sssp_distances",
+    "distances_to_targets",
+    "nearest_objects",
+    "prepared_objects",
+    "bulk_sssp",
+    "resolve_kernel",
+    "default_kernel",
+    "DEFAULT_KERNEL",
+    "KERNELS",
+]

@@ -1,0 +1,56 @@
+"""The kernel knob: ``"python"`` vs ``"array"`` hot-path implementations.
+
+Every query algorithm and index builder in this library exists in two
+implementations that compute *identical results*:
+
+``python``
+    The reference per-edge Python loops — the top rung ("Graph") of the
+    paper's Figure 7 implementation ladder, kept byte-for-byte so the
+    ablation stays reproducible and every array-kernel result can be
+    cross-checked against it.
+``array``
+    Allocation-free, array-native kernels one rung *above* the paper's
+    ladder: preallocated heaps and scratch buffers, vectorised edge
+    relaxation over CSR slices, and C-level whole-frontier expansion
+    (:mod:`scipy.sparse.csgraph`) where the control flow allows it.
+
+The engine resolves ``kernel=None`` to :data:`DEFAULT_KERNEL` (``array``),
+overridable per process with the ``REPRO_KERNEL`` environment variable —
+e.g. ``REPRO_KERNEL=python pytest`` runs the whole suite on the reference
+kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+#: The two kernel implementations every knob accepts.
+KERNELS: Tuple[str, ...] = ("python", "array")
+
+#: Kernel used when a knob is left at ``None`` (no environment override).
+DEFAULT_KERNEL = "array"
+
+
+def default_kernel() -> str:
+    """The process-wide default kernel (``REPRO_KERNEL`` wins)."""
+    env = os.environ.get("REPRO_KERNEL", "").strip()
+    if env:
+        if env not in KERNELS:
+            raise ValueError(
+                f"REPRO_KERNEL={env!r} is not a kernel; choose from "
+                f"{', '.join(KERNELS)}"
+            )
+        return env
+    return DEFAULT_KERNEL
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Validate ``kernel``, resolving ``None`` to the default."""
+    if kernel is None:
+        return default_kernel()
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {', '.join(KERNELS)}"
+        )
+    return kernel

@@ -12,18 +12,59 @@ border-distance assemblies cheap.
 ablates in Figure 22: the leaf search computes exact distances to *every*
 object in the query leaf regardless of k, instead of stopping at the
 first k settled.
+
+The ``kernel`` knob swaps the frontier machinery: ``"array"`` (resolved
+default) keys both the hierarchy queue and the leaf search on
+:class:`~repro.kernels.heap.ArrayHeap` packed words and relaxes leaf
+edges with vectorised CSR-slice operations; ``"python"`` is the
+reference tuple-heap implementation.  Results and counters are
+identical.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.index.gtree import GTree, OccurrenceList
+from repro.kernels.config import resolve_kernel
+from repro.kernels.heap import ArrayHeap
+from repro.kernels.relax import relax_edges
 from repro.knn.base import KNNAlgorithm, KNNResult
 from repro.utils.counters import Counters, NULL_COUNTERS
 from repro.utils.pqueue import BinaryHeap
 
 INF = float("inf")
+
+
+class _EncodedHeap:
+    """ArrayHeap adapter speaking the ``("v"|"n", id)`` entry protocol.
+
+    Hierarchy-queue entries pack into the payload word — vertices as
+    ``id << 1``, tree nodes as ``id << 1 | 1`` — so the main search loop
+    is heap-implementation-agnostic while the array kernel stores no
+    tuples.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap = ArrayHeap()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, key: float, entry: Tuple[str, int]) -> None:
+        kind, ident = entry
+        self._heap.push(key, (ident << 1) | (kind == "n"))
+
+    def pop(self) -> Tuple[float, Tuple[str, int]]:
+        key, code = self._heap.pop()
+        return key, ("n" if code & 1 else "v", code >> 1)
 
 
 class GTreeKNN(KNNAlgorithm):
@@ -37,6 +78,7 @@ class GTreeKNN(KNNAlgorithm):
         objects: Optional[Sequence[int]] = None,
         occurrence_list: Optional[OccurrenceList] = None,
         improved_leaf_search: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         if occurrence_list is None:
             if objects is None:
@@ -45,6 +87,7 @@ class GTreeKNN(KNNAlgorithm):
         self.gtree = gtree
         self.ol = occurrence_list
         self.improved_leaf_search = improved_leaf_search
+        self.kernel = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------
     # Leaf searches
@@ -109,6 +152,56 @@ class GTreeKNN(KNNAlgorithm):
                     dist[v] = nd
                     heap.push(nd, v)
 
+    def _leaf_search_improved_array(
+        self,
+        query: int,
+        k: int,
+        queue,
+        results: List[Tuple[float, int]],
+        counters: Counters,
+    ) -> None:
+        """Algorithm 4 on the array kernel.
+
+        Same control flow and counters as the python version, but the
+        expansion runs over the leaf's cached CSR arrays with an
+        :class:`ArrayHeap` frontier and vectorised edge relaxation.
+        """
+        gtree = self.gtree
+        leaf = gtree.nodes[int(gtree.leaf_of[query])]
+        leaf_objects = set(self.ol.objects_in_leaf(leaf.id))
+        if not leaf_objects:
+            return
+        local = gtree.leaf_local_csr(leaf)
+        indptr, targets, weights = local.indptr, local.indices, local.data
+        border_locals = {leaf.vertex_pos[int(b)] for b in leaf.borders}
+        start = leaf.vertex_pos[int(query)]
+        n = local.shape[0]
+        dist = np.full(n, INF)
+        visited = np.zeros(n, dtype=bool)
+        heap = ArrayHeap()
+        dist[start] = 0.0
+        heap.push(0.0, start)
+        targets_found = 0
+        border_found = False
+        vertices = leaf.vertices
+        target_bound = min(k, len(leaf_objects))
+        while heap and len(results) < k and targets_found < target_bound:
+            d, u = heap.pop()
+            if visited[u]:
+                continue
+            visited[u] = True
+            counters.add("gtree_leaf_settled")
+            u_global = int(vertices[u])
+            if u_global in leaf_objects:
+                targets_found += 1
+                if not border_found:
+                    results.append((d, u_global))
+                else:
+                    queue.push(d, ("v", u_global))
+            if u in border_locals:
+                border_found = True
+            relax_edges(indptr, targets, weights, u, d, dist, heap)
+
     def _leaf_search_original(
         self,
         query: int,
@@ -138,14 +231,20 @@ class GTreeKNN(KNNAlgorithm):
         ol = self.ol
         cache: Dict = {}
         results: List[Tuple[float, int]] = []
-        queue = BinaryHeap()  # entries keyed by distance; items ("v"|"n", id)
+        # Entries keyed by distance; items ("v"|"n", id).  The array
+        # kernel stores them as packed words in an ArrayHeap.
+        queue = _EncodedHeap() if self.kernel == "array" else BinaryHeap()
 
         leaf_id = int(gtree.leaf_of[query])
         if ol.has_objects(leaf_id) or leaf_id in ol.leaf_objects:
-            if self.improved_leaf_search:
-                self._leaf_search_improved(query, k, queue, results, counters)
-            else:
+            if not self.improved_leaf_search:
                 self._leaf_search_original(query, k, queue, results, counters)
+            elif self.kernel == "array":
+                self._leaf_search_improved_array(
+                    query, k, queue, results, counters
+                )
+            else:
+                self._leaf_search_improved(query, k, queue, results, counters)
         if len(results) >= k:
             return self._finalise(results, k)
 

@@ -10,13 +10,25 @@ The class exposes the Figure 7 implementation ladder through the
 set settled, per-vertex adjacency objects), ``pqueue`` (+ no-decrease-key
 heap), ``settled`` (+ byte-array settled container) and ``graph``
 (+ CSR arrays; the production configuration).
+
+The ``kernel`` knob extends the ladder one rung past the paper for the
+``graph`` variant: ``kernel="array"`` runs the expansion as a C-level
+whole-frontier kernel (:func:`repro.kernels.sssp.nearest_objects`) with
+an expanding radius limit, returning byte-identical answers and the same
+``ine_settled`` counter as the per-edge Python loop.  Direct
+constructions default to ``"python"`` so the Figure 7 rungs stay
+faithful; the engine passes its own default (``array``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.graph.graph import Graph
+from repro.kernels.config import resolve_kernel
+from repro.kernels.sssp import nearest_objects
 from repro.knn.base import KNNAlgorithm, KNNResult
 from repro.utils.bitset import BitArray
 from repro.utils.counters import Counters, NULL_COUNTERS
@@ -37,11 +49,13 @@ class INE(KNNAlgorithm):
         graph: Graph,
         objects: Sequence[int],
         variant: str = "graph",
+        kernel: Optional[str] = None,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(f"unknown INE variant {variant!r}")
         self.graph = graph
         self.variant = variant
+        self.kernel = "python" if kernel is None else resolve_kernel(kernel)
         self.object_set: Set[int] = set(int(o) for o in objects)
         self.object_flags = BitArray(graph.num_vertices)
         for o in self.object_set:
@@ -51,6 +65,13 @@ class INE(KNNAlgorithm):
             self._adjacency: List[List[Tuple[int, float]]] = [
                 list(graph.neighbors(u)) for u in range(graph.num_vertices)
             ]
+        elif self.kernel == "array":
+            # Array kernel: the sorted object-id array is all the state
+            # the whole-frontier kernel needs.
+            self._objects_arr = np.fromiter(
+                sorted(self.object_set), dtype=np.int64,
+                count=len(self.object_set),
+            )
         else:
             # "Graph" representation: flat offset/target/weight arrays.
             # CPython's equivalent of the paper's cache-friendly CSR
@@ -64,6 +85,10 @@ class INE(KNNAlgorithm):
         self, query: int, k: int, counters: Counters = NULL_COUNTERS
     ) -> KNNResult:
         if self.variant == "graph":
+            if self.kernel == "array":
+                return nearest_objects(
+                    self.graph, self._objects_arr, query, k, counters
+                )
             return self._knn_graph(query, k, counters)
         if self.variant == "settled":
             return self._knn_settled(query, k, counters)

@@ -36,6 +36,9 @@ def astar_distance(
     heap = BinaryHeap()
     g[source] = 0.0
     heap.push(graph.euclidean_to_point(source, tx, ty) / speed, source)
+    vertex_start = graph.vertex_start
+    edge_target = graph.edge_target
+    edge_weight = graph.edge_weight
     while heap:
         _, u = heap.pop()
         if settled.get(u):
@@ -45,8 +48,9 @@ def astar_distance(
         if u == target:
             return float(g[u])
         du = g[u]
-        for v, w in graph.neighbors(u):
-            nd = du + w
+        for i in range(vertex_start[u], vertex_start[u + 1]):
+            v = int(edge_target[i])
+            nd = du + edge_weight[i]
             if nd < g[v]:
                 g[v] = nd
                 h = graph.euclidean_to_point(v, tx, ty) / speed

@@ -60,7 +60,8 @@ class ContractionHierarchy:
         # Overlay adjacency, mutated during contraction.
         overlay: List[Dict[int, float]] = [dict() for _ in range(n)]
         for u in range(n):
-            for v, w in self.graph.neighbors(u):
+            targets, weights = self.graph.neighbor_slice(u)
+            for v, w in zip(targets.tolist(), weights.tolist()):
                 prev = overlay[u].get(v)
                 if prev is None or w < prev:
                     overlay[u][v] = w
@@ -121,7 +122,8 @@ class ContractionHierarchy:
         up: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
         seen_edge: Dict[Tuple[int, int], float] = {}
         for u in range(n):
-            for v, w in self.graph.neighbors(u):
+            targets, weights = self.graph.neighbor_slice(u)
+            for v, w in zip(targets.tolist(), weights.tolist()):
                 key = (u, v)
                 prev = seen_edge.get(key)
                 if prev is None or w < prev:

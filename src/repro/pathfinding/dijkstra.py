@@ -11,6 +11,14 @@ Figure 7 of the paper.  Each rung improves one implementation choice:
 
 All four compute identical results; only constants differ — which is the
 paper's point.
+
+The production entry points additionally take a ``kernel`` knob one rung
+above the ladder: ``"python"`` (default here; the reference per-edge loop,
+now running over reusable :mod:`repro.kernels.scratch` buffers instead of
+per-query ``np.full`` allocations) or ``"array"`` (whole-frontier C-level
+expansion from :mod:`repro.kernels.sssp`).  Both kernels return identical
+distances and record identical ``dijkstra_settled`` counters; the engine
+defaults to ``array``.
 """
 
 from __future__ import annotations
@@ -20,6 +28,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.kernels.scratch import borrow
+from repro.kernels.sssp import (
+    distances_to_targets as _k_targets,
+)
+from repro.kernels.sssp import (
+    p2p_distance as _k_p2p,
+)
+from repro.kernels.sssp import (
+    sssp_bounded as _k_sssp,
+)
 from repro.utils.bitset import BitArray
 from repro.utils.counters import Counters, NULL_COUNTERS
 from repro.utils.pqueue import BinaryHeap, DecreaseKeyHeap
@@ -28,33 +46,42 @@ INF = float("inf")
 
 
 def dijkstra_distance(
-    graph: Graph, source: int, target: int, counters: Counters = NULL_COUNTERS
+    graph: Graph,
+    source: int,
+    target: int,
+    counters: Counters = NULL_COUNTERS,
+    kernel: str = "python",
 ) -> float:
     """Point-to-point network distance (production variant)."""
+    if kernel == "array":
+        return _k_p2p(graph, source, target, counters)
     if source == target:
         return 0.0
-    dist = np.full(graph.num_vertices, INF)
-    settled = BitArray(graph.num_vertices)
-    heap = BinaryHeap()
-    dist[source] = 0.0
-    heap.push(0.0, source)
-    vertex_start = graph.vertex_start
-    edge_target = graph.edge_target
-    edge_weight = graph.edge_weight
-    while heap:
-        d, u = heap.pop()
-        if settled.get(u):
-            continue
-        settled.set(u)
-        counters.add("dijkstra_settled")
-        if u == target:
-            return d
-        for i in range(vertex_start[u], vertex_start[u + 1]):
-            v = int(edge_target[i])
-            nd = d + edge_weight[i]
-            if nd < dist[v]:
-                dist[v] = nd
-                heap.push(nd, v)
+    with borrow(graph) as scratch:
+        gen = scratch.begin()
+        dist, stamp, settled = scratch.dist, scratch.stamp, scratch.settled
+        heap = BinaryHeap()
+        dist[source] = 0.0
+        stamp[source] = gen
+        heap.push(0.0, source)
+        vertex_start = graph.vertex_start
+        edge_target = graph.edge_target
+        edge_weight = graph.edge_weight
+        while heap:
+            d, u = heap.pop()
+            if settled[u] == gen:
+                continue
+            settled[u] = gen
+            counters.add("dijkstra_settled")
+            if u == target:
+                return d
+            for i in range(vertex_start[u], vertex_start[u + 1]):
+                v = int(edge_target[i])
+                nd = d + edge_weight[i]
+                if stamp[v] != gen or nd < dist[v]:
+                    dist[v] = nd
+                    stamp[v] = gen
+                    heap.push(nd, v)
     return INF
 
 
@@ -71,6 +98,9 @@ def dijkstra_path(
     heap = BinaryHeap()
     dist[source] = 0.0
     heap.push(0.0, source)
+    vertex_start = graph.vertex_start
+    edge_target = graph.edge_target
+    edge_weight = graph.edge_weight
     while heap:
         d, u = heap.pop()
         if settled.get(u):
@@ -82,8 +112,9 @@ def dijkstra_path(
                 path.append(int(parent[path[-1]]))
             path.reverse()
             return d, path
-        for v, w in graph.neighbors(u):
-            nd = d + w
+        for i in range(vertex_start[u], vertex_start[u + 1]):
+            v = int(edge_target[i])
+            nd = d + edge_weight[i]
             if nd < dist[v]:
                 dist[v] = nd
                 parent[v] = u
@@ -96,27 +127,43 @@ def dijkstra_sssp(
     source: int,
     cutoff: float = INF,
     counters: Counters = NULL_COUNTERS,
+    kernel: str = "python",
 ) -> np.ndarray:
-    """Single-source distances to every vertex (optionally cut off)."""
-    dist = np.full(graph.num_vertices, INF)
-    settled = BitArray(graph.num_vertices)
-    heap = BinaryHeap()
-    dist[source] = 0.0
-    heap.push(0.0, source)
-    while heap:
-        d, u = heap.pop()
-        if settled.get(u):
-            continue
-        if d > cutoff:
-            break
-        settled.set(u)
-        counters.add("dijkstra_settled")
-        for v, w in graph.neighbors(u):
-            nd = d + w
-            if nd < dist[v]:
-                dist[v] = nd
-                heap.push(nd, v)
-    return dist
+    """Single-source distances to every vertex (optionally cut off).
+
+    Entries at distance <= ``cutoff`` are exact under both kernels.
+    Beyond the cutoff the python kernel leaves whatever tentative values
+    its frontier held while the array kernel reports ``inf`` — callers
+    must only rely on the settled region.
+    """
+    if kernel == "array":
+        return _k_sssp(graph, source, cutoff, counters)
+    with borrow(graph) as scratch:
+        gen = scratch.begin()
+        dist, stamp, settled = scratch.dist, scratch.stamp, scratch.settled
+        heap = BinaryHeap()
+        dist[source] = 0.0
+        stamp[source] = gen
+        heap.push(0.0, source)
+        vertex_start = graph.vertex_start
+        edge_target = graph.edge_target
+        edge_weight = graph.edge_weight
+        while heap:
+            d, u = heap.pop()
+            if settled[u] == gen:
+                continue
+            if d > cutoff:
+                break
+            settled[u] = gen
+            counters.add("dijkstra_settled")
+            for i in range(vertex_start[u], vertex_start[u + 1]):
+                v = int(edge_target[i])
+                nd = d + edge_weight[i]
+                if stamp[v] != gen or nd < dist[v]:
+                    dist[v] = nd
+                    stamp[v] = gen
+                    heap.push(nd, v)
+        return np.where(stamp == gen, dist, INF)
 
 
 def dijkstra_to_targets(
@@ -124,8 +171,11 @@ def dijkstra_to_targets(
     source: int,
     targets: Iterable[int],
     counters: Counters = NULL_COUNTERS,
+    kernel: str = "python",
 ) -> Dict[int, float]:
     """Distances from ``source`` to each of ``targets``; stops early."""
+    if kernel == "array":
+        return _k_targets(graph, source, targets, counters)
     remaining = set(int(t) for t in targets)
     out: Dict[int, float] = {}
     if source in remaining:
@@ -133,27 +183,34 @@ def dijkstra_to_targets(
         remaining.discard(source)
     if not remaining:
         return out
-    dist = np.full(graph.num_vertices, INF)
-    settled = BitArray(graph.num_vertices)
-    heap = BinaryHeap()
-    dist[source] = 0.0
-    heap.push(0.0, source)
-    while heap and remaining:
-        d, u = heap.pop()
-        if settled.get(u):
-            continue
-        settled.set(u)
-        counters.add("dijkstra_settled")
-        if u in remaining:
-            out[u] = d
-            remaining.discard(u)
-            if not remaining:
-                break
-        for v, w in graph.neighbors(u):
-            nd = d + w
-            if nd < dist[v]:
-                dist[v] = nd
-                heap.push(nd, v)
+    with borrow(graph) as scratch:
+        gen = scratch.begin()
+        dist, stamp, settled = scratch.dist, scratch.stamp, scratch.settled
+        heap = BinaryHeap()
+        dist[source] = 0.0
+        stamp[source] = gen
+        heap.push(0.0, source)
+        vertex_start = graph.vertex_start
+        edge_target = graph.edge_target
+        edge_weight = graph.edge_weight
+        while heap and remaining:
+            d, u = heap.pop()
+            if settled[u] == gen:
+                continue
+            settled[u] = gen
+            counters.add("dijkstra_settled")
+            if u in remaining:
+                out[u] = d
+                remaining.discard(u)
+                if not remaining:
+                    break
+            for i in range(vertex_start[u], vertex_start[u + 1]):
+                v = int(edge_target[i])
+                nd = d + edge_weight[i]
+                if stamp[v] != gen or nd < dist[v]:
+                    dist[v] = nd
+                    stamp[v] = gen
+                    heap.push(nd, v)
     for t in remaining:
         out[t] = INF
     return out
@@ -178,15 +235,19 @@ def dijkstra_restricted(
     settled = set()
     heap = BinaryHeap()
     heap.push(0.0, source)
+    vertex_start = graph.vertex_start
+    edge_target = graph.edge_target
+    edge_weight = graph.edge_weight
     while heap:
         d, u = heap.pop()
         if u in settled:
             continue
         settled.add(u)
-        for v, w in graph.neighbors(u):
+        for i in range(vertex_start[u], vertex_start[u + 1]):
+            v = int(edge_target[i])
             if v not in allowed_set:
                 continue
-            nd = d + w
+            nd = d + edge_weight[i]
             if nd < dist.get(v, INF):
                 dist[v] = nd
                 heap.push(nd, v)
@@ -199,16 +260,20 @@ class DijkstraOracle:
     Implements the shared oracle protocol: ``distance(s, t)`` plus optional
     source-side state reuse via ``start_source``/``distance_from_source``
     (Dijkstra has nothing to reuse; each query runs cold, which is exactly
-    why IER-Dijk is slow in Figure 4).
+    why IER-Dijk is slow in Figure 4).  ``kernel`` selects the p2p
+    implementation (see :func:`dijkstra_distance`).
     """
 
     name = "dijkstra"
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, kernel: Optional[str] = None) -> None:
         self.graph = graph
+        self.kernel = kernel if kernel is not None else "python"
 
     def distance(self, source: int, target: int) -> float:
-        return dijkstra_distance(self.graph, source, target)
+        return dijkstra_distance(
+            self.graph, source, target, kernel=self.kernel
+        )
 
     def build_time(self) -> float:
         return 0.0

@@ -73,6 +73,14 @@ class HubLabels:
             hub_rank[v] = r
 
         graph = self.graph
+        # Flat-list CSR mirrors (satellite of the kernels work): the
+        # pruned Dijkstras below touch every edge many times, and list
+        # indexing beats both the generator protocol and numpy scalar
+        # reads in CPython.  Push order is identical to the old
+        # ``graph.neighbors`` loop, so the labels are byte-for-byte.
+        vs_l = graph.vertex_start.tolist()
+        et_l = graph.edge_target.tolist()
+        ew_l = graph.edge_weight.tolist()
         for r, hub in enumerate(order):
             # Pruned Dijkstra from this hub.
             dist = {hub: 0.0}
@@ -93,8 +101,9 @@ class HubLabels:
                     continue
                 label_hubs[u].append(r)
                 label_dists[u].append(d)
-                for v, w in graph.neighbors(u):
-                    nd = d + w
+                for i in range(vs_l[u], vs_l[u + 1]):
+                    v = et_l[i]
+                    nd = d + ew_l[i]
                     if nd < dist.get(v, INF):
                         dist[v] = nd
                         heap.push(nd, v)

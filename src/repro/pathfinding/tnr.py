@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.kernels.config import resolve_kernel
+from repro.pathfinding.bulk import bulk_sssp
 from repro.pathfinding.ch import ContractionHierarchy
 from repro.utils.arrays import concat_ragged, ragged_row
 from repro.utils.counters import BUILD_COUNTERS, Counters, NULL_COUNTERS
@@ -35,7 +37,13 @@ INF = float("inf")
 
 
 class TransitNodeRouting:
-    """TNR index layered on a :class:`ContractionHierarchy`."""
+    """TNR index layered on a :class:`ContractionHierarchy`.
+
+    ``kernel="array"`` (resolved default) fills the all-pairs transit
+    table with one multi-source :func:`bulk_sssp` sweep instead of the
+    ``t^2 / 2`` individual CH queries the ``"python"`` reference build
+    runs — same exact distances, an order of magnitude less build time.
+    """
 
     name = "tnr"
 
@@ -46,8 +54,10 @@ class TransitNodeRouting:
         num_transit: Optional[int] = None,
         grid_size: int = 32,
         locality_cells: int = 4,
+        kernel: Optional[str] = None,
     ) -> None:
         self.graph = graph
+        self.kernel = resolve_kernel(kernel)
         BUILD_COUNTERS.add("build:tnr")
         start = time.perf_counter()
         self.ch = ch if ch is not None else ContractionHierarchy(graph)
@@ -67,25 +77,38 @@ class TransitNodeRouting:
         self.transit_set: Set[int] = set(self.transit_nodes)
         transit_index = {v: i for i, v in enumerate(self.transit_nodes)}
 
-        # All-pairs transit table via CH queries.
+        # All-pairs transit table: one bulk multi-source sweep (array
+        # kernel) or pairwise CH queries (reference).  Identical values —
+        # both are exact global distances.
         t = len(self.transit_nodes)
-        table = np.zeros((t, t))
-        for i in range(t):
-            for j in range(i + 1, t):
-                d = ch.distance(self.transit_nodes[i], self.transit_nodes[j])
-                table[i, j] = table[j, i] = d
+        if self.kernel == "array":
+            tn = np.asarray(self.transit_nodes, dtype=np.int64)
+            table = bulk_sssp(graph, tn)[:, tn] if t else np.zeros((0, 0))
+            np.fill_diagonal(table, 0.0)
+        else:
+            table = np.zeros((t, t))
+            for i in range(t):
+                for j in range(i + 1, t):
+                    d = ch.distance(self.transit_nodes[i], self.transit_nodes[j])
+                    table[i, j] = table[j, i] = d
         self.table = table
 
         # Access nodes per vertex (transit-pruned upward search, dominated
-        # entries removed).
-        self.access: List[List[Tuple[int, float]]] = []
-        for v in range(n):
-            if v in self.transit_set:
-                self.access.append([(transit_index[v], 0.0)])
-                continue
-            _, pruned = ch.upward_search(v, self.transit_set)
-            entries = [(transit_index[a], d) for a, d in pruned.items()]
-            self.access.append(self._prune_dominated(entries))
+        # entries removed).  The array kernel expresses the pruning as a
+        # graph transform — a transit node's *outgoing* upward edges are
+        # deleted, which is exactly "settle but do not expand" — and then
+        # runs every per-vertex search as one batched C Dijkstra sweep.
+        if self.kernel == "array":
+            self.access = self._access_nodes_bulk(transit_index)
+        else:
+            self.access = []
+            for v in range(n):
+                if v in self.transit_set:
+                    self.access.append([(transit_index[v], 0.0)])
+                    continue
+                _, pruned = ch.upward_search(v, self.transit_set)
+                entries = [(transit_index[a], d) for a, d in pruned.items()]
+                self.access.append(self._prune_dominated(entries))
 
         # Locality grid.
         self._gx0, self._gy0 = float(graph.x.min()), float(graph.y.min())
@@ -101,6 +124,81 @@ class TransitNodeRouting:
             ((graph.y - self._gy0) / self._cell_h).astype(np.int64),
             self.grid_size - 1,
         )
+
+    def _access_nodes_bulk(
+        self, transit_index: Dict[int, int]
+    ) -> List[List[Tuple[int, float]]]:
+        """All per-vertex access nodes from batched sweeps (array kernel).
+
+        Identical distances to the python kernel's per-vertex pruned
+        upward searches: reachability in the upward graph with transit
+        out-edges removed *is* the pruned search's explored cone.
+        """
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+        n = self.graph.num_vertices
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for u, lst in enumerate(self.ch.up):
+            if u in self.transit_set:
+                continue
+            for v, w in lst:
+                rows.append(u)
+                cols.append(v)
+                data.append(w)
+        pruned_up = csr_matrix(
+            (np.asarray(data), (np.asarray(rows), np.asarray(cols))),
+            shape=(n, n),
+        )
+        tn = np.asarray(self.transit_nodes, dtype=np.int64)
+        access: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        sources = np.asarray(
+            [v for v in range(n) if v not in self.transit_set], dtype=np.int64
+        )
+        # scipy returns a dense (batch, n) float64 block per sweep; cap
+        # it at ~64 MB so large graphs don't trade the python kernel's
+        # O(n) memory for a multi-gigabyte allocation.
+        batch = max(1, min(1024, 8_000_000 // max(n, 1)))
+        for lo in range(0, len(sources), batch):
+            seg = sources[lo : lo + batch]
+            dist = _csgraph_dijkstra(pruned_up, directed=True, indices=seg)
+            td = dist[:, tn]
+            hr, hc = np.nonzero(np.isfinite(td))
+            vals = td[hr, hc]
+            row_starts = np.searchsorted(hr, np.arange(len(seg)))
+            row_ends = np.searchsorted(hr, np.arange(len(seg)) + 1)
+            for r, v in enumerate(seg.tolist()):
+                a, b = int(row_starts[r]), int(row_ends[r])
+                if b - a <= 1:
+                    access[v] = [
+                        (int(hc[i]), float(vals[i])) for i in range(a, b)
+                    ]
+                else:
+                    access[v] = self._prune_dominated_bulk(
+                        hc[a:b], vals[a:b]
+                    )
+        for v in self.transit_nodes:
+            access[v] = [(transit_index[v], 0.0)]
+        return access
+
+    def _prune_dominated_bulk(
+        self, aidx: np.ndarray, da: np.ndarray
+    ) -> List[Tuple[int, float]]:
+        """Vectorised :meth:`_prune_dominated` over parallel arrays."""
+        m = len(aidx)
+        through = da[:, None] + self.table[np.ix_(aidx, aidx)]
+        dominates = through < da[None, :]
+        order = np.arange(m)
+        dominates |= (through == da[None, :]) & (
+            order[:, None] < order[None, :]
+        )
+        np.fill_diagonal(dominates, False)
+        keep = ~dominates.any(axis=0)
+        return [
+            (int(a), float(d)) for a, d in zip(aidx[keep], da[keep])
+        ]
 
     def _prune_dominated(
         self, entries: List[Tuple[int, float]]
@@ -201,6 +299,7 @@ class TransitNodeRouting:
         )
         return {
             "transit_nodes": np.asarray(self.transit_nodes, dtype=np.int64),
+            "kernel": np.asarray(self.kernel),
             "table": self.table,
             "access_node": acc_nodes,
             "access_dist": acc_dists,
@@ -225,6 +324,11 @@ class TransitNodeRouting:
         self = cls.__new__(cls)
         self.graph = graph
         self.ch = ch
+        kernel = arrays.get("kernel")
+        self.kernel = (
+            resolve_kernel(str(kernel)) if kernel is not None
+            else resolve_kernel(None)
+        )
         self.grid_size = int(arrays["grid_size"])
         self.locality_cells = int(arrays["locality_cells"])
         self._build_time = float(arrays["build_time"])

@@ -420,4 +420,7 @@ class KNNServer:
                 "coalesced_hits": counts.get("coalesced_hits", 0),
             },
             "cache": self.cache.stats(),
+            # Hot-path kernel the serving engine resolves queries on
+            # ("array" unless the operator forced the reference loops).
+            "kernel": getattr(self._engines[None], "kernel", None),
         }

@@ -1,0 +1,457 @@
+"""Kernel-layer tests: ArrayHeap, scratch buffers, and the
+python-vs-array equality guarantees.
+
+The property tests are the regression guard the perf work rests on:
+for every algorithm with a ``kernel`` knob, the array kernel must return
+*byte-identical* answers and *identical settled-vertex counters* to the
+reference python kernel on seeded random grid/cluster graphs.  A fast
+path that drifts — even in tie-breaking or counter accounting — fails
+here before any benchmark can advertise it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import QueryEngine
+from repro.graph.generators import grid_network, road_network
+from repro.index.gtree import GTree
+from repro.index.silc import SILCIndex
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    ArrayHeap,
+    borrow,
+    bulk_sssp,
+    resolve_kernel,
+    sssp_arrayheap,
+)
+from repro.knn.distance_browsing import DistanceBrowsing
+from repro.knn.gtree_knn import GTreeKNN
+from repro.knn.ine import INE
+from repro.objects import uniform_objects
+from repro.pathfinding.ch import ContractionHierarchy
+from repro.pathfinding.dijkstra import (
+    dijkstra_distance,
+    dijkstra_sssp,
+    dijkstra_to_targets,
+)
+from repro.pathfinding.tnr import TransitNodeRouting
+from repro.utils.counters import Counters
+
+INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# ArrayHeap
+# ----------------------------------------------------------------------
+class TestArrayHeap:
+    def test_pops_in_key_order(self):
+        rng = np.random.default_rng(0)
+        keys = rng.random(500) * 1e6
+        heap = ArrayHeap()
+        for i, k in enumerate(keys):
+            heap.push(float(k), i)
+        assert len(heap) == 500
+        popped = [heap.pop() for _ in range(500)]
+        assert [k for k, _ in popped] == sorted(keys.tolist())
+        assert sorted(i for _, i in popped) == list(range(500))
+        assert not heap
+
+    def test_duplicate_and_stale_entries_survive(self):
+        # Same no-decrease-key contract as BinaryHeap: duplicates stay,
+        # the caller filters stale pops.
+        heap = ArrayHeap()
+        heap.push(5.0, 7)
+        heap.push(3.0, 7)
+        heap.push(4.0, 8)
+        assert heap.pop() == (3.0, 7)
+        assert heap.pop() == (4.0, 8)
+        assert heap.pop() == (5.0, 7)
+
+    def test_peek_key_on_empty_is_inf(self):
+        heap = ArrayHeap()
+        assert heap.peek_key() == INF
+        heap.push(2.5, 1)
+        assert heap.peek_key() == 2.5
+        assert heap.peek() == (2.5, 1)
+        heap.clear()
+        assert heap.peek_key() == INF
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_ties_break_by_payload(self):
+        heap = ArrayHeap()
+        for item in (9, 3, 6):
+            heap.push(1.25, item)
+        assert [heap.pop()[1] for _ in range(3)] == [3, 6, 9]
+
+    def test_keys_roundtrip_exactly(self):
+        # The packed word must preserve every float64 bit.
+        rng = np.random.default_rng(3)
+        keys = np.concatenate(
+            [rng.random(64) * 1e-300, rng.random(64) * 1e300, [0.0, INF]]
+        )
+        heap = ArrayHeap()
+        heap.push_many(keys, np.arange(len(keys)))
+        out = sorted(heap.pop()[0] for _ in range(len(keys)))
+        assert out == sorted(keys.tolist())
+
+    def test_push_many_matches_scalar_pushes(self):
+        rng = np.random.default_rng(1)
+        keys = rng.random(200)
+        items = rng.integers(0, 1000, size=200)
+        one, many = ArrayHeap(), ArrayHeap()
+        for k, i in zip(keys, items):
+            one.push(float(k), int(i))
+        many.push_many(keys[:150], items[:150])  # heapify path
+        many.push_many(keys[150:], items[150:])  # sift path
+        while one:
+            assert one.pop() == many.pop()
+        assert not many
+
+    def test_growth_beyond_initial_capacity(self):
+        heap = ArrayHeap()
+        n = 10_000
+        heap.push_many(
+            np.arange(n, dtype=np.float64)[::-1], np.arange(n)
+        )
+        assert len(heap) == n
+        assert heap.pop() == (0.0, n - 1)
+
+    def test_invalid_inputs_rejected(self):
+        heap = ArrayHeap()
+        with pytest.raises(ValueError):
+            heap.push(-1.0, 0)
+        with pytest.raises(ValueError):
+            heap.push(0.0, -1)
+        with pytest.raises(ValueError):
+            heap.push(0.0, 1 << 32)
+        with pytest.raises(ValueError):
+            heap.push_many(np.asarray([-0.5]), np.asarray([0]))
+
+
+# ----------------------------------------------------------------------
+# Scratch buffers
+# ----------------------------------------------------------------------
+class TestScratch:
+    def test_repeated_queries_reuse_one_buffer(self):
+        graph = road_network(300, seed=4)
+        with borrow(graph) as first:
+            first_dist = first.dist
+        with borrow(graph) as second:
+            assert second.dist is first_dist  # no reallocation
+
+    def test_reentrant_borrow_gets_fresh_buffer(self):
+        graph = road_network(300, seed=4)
+        with borrow(graph) as outer:
+            with borrow(graph) as inner:
+                assert inner is not outer
+
+    def test_stale_state_invisible_across_queries(self):
+        # Back-to-back queries on one graph share buffers; the stamp
+        # reset must hide the first query's distances from the second.
+        graph = road_network(400, seed=5)
+        rng = np.random.default_rng(5)
+        pairs = [
+            (int(rng.integers(400)), int(rng.integers(400)))
+            for _ in range(12)
+        ]
+        cold = [
+            dijkstra_distance(road_network(400, seed=5), s, t)
+            for s, t in pairs
+        ]
+        warm = [dijkstra_distance(graph, s, t) for s, t in pairs]
+        assert warm == cold
+
+
+# ----------------------------------------------------------------------
+# Kernel knob resolution
+# ----------------------------------------------------------------------
+class TestKernelConfig:
+    def test_default_is_array(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert DEFAULT_KERNEL == "array"
+        assert resolve_kernel(None) == "array"
+
+    def test_explicit_values(self):
+        assert resolve_kernel("python") == "python"
+        assert resolve_kernel("array") == "array"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("numpy")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert resolve_kernel(None) == "python"
+        monkeypatch.setenv("REPRO_KERNEL", "bogus")
+        with pytest.raises(ValueError):
+            resolve_kernel(None)
+
+
+# ----------------------------------------------------------------------
+# Cross-kernel equality (the regression guard)
+# ----------------------------------------------------------------------
+def _property_graphs():
+    return [
+        grid_network(15, 15, seed=2),
+        road_network(500, seed=7),
+        road_network(400, seed=11, chain_fraction=0.6),
+    ]
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2], ids=["grid", "road", "chains"])
+def prop_graph(request):
+    return _property_graphs()[request.param]
+
+
+class TestDijkstraKernelEquality:
+    def test_p2p_distances_and_counters_identical(self, prop_graph):
+        n = prop_graph.num_vertices
+        rng = np.random.default_rng(n)
+        for _ in range(20):
+            s, t = int(rng.integers(n)), int(rng.integers(n))
+            cp, ca = Counters(), Counters()
+            dp = dijkstra_distance(prop_graph, s, t, counters=cp, kernel="python")
+            da = dijkstra_distance(prop_graph, s, t, counters=ca, kernel="array")
+            assert dp == da  # byte-identical, not just close
+            assert cp["dijkstra_settled"] == ca["dijkstra_settled"]
+
+    def test_full_sssp_identical(self, prop_graph):
+        cp, ca = Counters(), Counters()
+        dp = dijkstra_sssp(prop_graph, 3, counters=cp, kernel="python")
+        da = dijkstra_sssp(prop_graph, 3, counters=ca, kernel="array")
+        assert np.array_equal(dp, da)
+        assert cp["dijkstra_settled"] == ca["dijkstra_settled"]
+
+    def test_bounded_sssp_settled_region_identical(self, prop_graph):
+        full = dijkstra_sssp(prop_graph, 5, kernel="python")
+        cutoff = float(np.median(full[np.isfinite(full)]))
+        cp, ca = Counters(), Counters()
+        dp = dijkstra_sssp(prop_graph, 5, cutoff=cutoff, counters=cp,
+                           kernel="python")
+        da = dijkstra_sssp(prop_graph, 5, cutoff=cutoff, counters=ca,
+                           kernel="array")
+        settled = np.isfinite(da)
+        assert np.array_equal(settled, dp <= cutoff)
+        assert np.array_equal(dp[settled], da[settled])
+        assert cp["dijkstra_settled"] == ca["dijkstra_settled"]
+
+    def test_to_targets_identical(self, prop_graph):
+        n = prop_graph.num_vertices
+        rng = np.random.default_rng(n + 1)
+        targets = [int(v) for v in rng.integers(0, n, size=8)]
+        cp, ca = Counters(), Counters()
+        out_p = dijkstra_to_targets(prop_graph, 2, targets, counters=cp,
+                                    kernel="python")
+        out_a = dijkstra_to_targets(prop_graph, 2, targets, counters=ca,
+                                    kernel="array")
+        assert out_p == out_a
+        assert cp["dijkstra_settled"] == ca["dijkstra_settled"]
+
+    def test_arrayheap_sssp_triangulates_both(self, prop_graph):
+        # Third implementation (ArrayHeap + vectorised relaxation) must
+        # agree with the python loop and the scipy kernel.
+        ref = dijkstra_sssp(prop_graph, 1, kernel="python")
+        via_heap = sssp_arrayheap(
+            prop_graph.vertex_start,
+            prop_graph.edge_target,
+            prop_graph.edge_weight,
+            1,
+            prop_graph.num_vertices,
+        )
+        assert np.array_equal(ref, via_heap)
+
+    def test_bulk_sssp_rows_match_single_source(self, prop_graph):
+        rows = bulk_sssp(prop_graph, [0, 4, 9])
+        for row, src in zip(rows, (0, 4, 9)):
+            assert np.allclose(
+                row, dijkstra_sssp(prop_graph, src, kernel="python"),
+                rtol=1e-12, atol=0,
+            )
+
+
+class TestINEKernelEquality:
+    def test_answers_and_counters_identical(self, prop_graph):
+        n = prop_graph.num_vertices
+        objects = uniform_objects(prop_graph, 0.05, seed=3, minimum=4)
+        ine_p = INE(prop_graph, objects, kernel="python")
+        ine_a = INE(prop_graph, objects, kernel="array")
+        rng = np.random.default_rng(n + 2)
+        for k in (1, 3, 10):
+            for _ in range(8):
+                q = int(rng.integers(n))
+                cp, ca = Counters(), Counters()
+                rp = ine_p.knn(q, k, counters=cp)
+                ra = ine_a.knn(q, k, counters=ca)
+                assert rp == ra
+                assert cp["ine_settled"] == ca["ine_settled"]
+
+    def test_k_exceeding_object_count(self, prop_graph):
+        objects = uniform_objects(prop_graph, 0.02, seed=1, minimum=2)
+        k = len(objects) + 5
+        cp, ca = Counters(), Counters()
+        rp = INE(prop_graph, objects, kernel="python").knn(0, k, counters=cp)
+        ra = INE(prop_graph, objects, kernel="array").knn(0, k, counters=ca)
+        assert rp == ra
+        assert cp["ine_settled"] == ca["ine_settled"]
+
+    def test_query_on_an_object_vertex(self, prop_graph):
+        objects = uniform_objects(prop_graph, 0.05, seed=3, minimum=4)
+        q = int(objects[0])
+        rp = INE(prop_graph, objects, kernel="python").knn(q, 3)
+        ra = INE(prop_graph, objects, kernel="array").knn(q, 3)
+        assert rp == ra
+        assert rp[0] == (0.0, q)
+
+
+class TestGTreeKernelEquality:
+    @pytest.fixture(scope="class")
+    def graphs_and_trees(self):
+        graph = road_network(500, seed=7)
+        return (
+            graph,
+            GTree(graph, kernel="python"),
+            GTree(graph, kernel="array"),
+        )
+
+    def test_both_builds_exact_vs_dijkstra(self, graphs_and_trees):
+        graph, gt_py, gt_arr = graphs_and_trees
+        rng = np.random.default_rng(13)
+        for _ in range(30):
+            s, t = (int(rng.integers(500)), int(rng.integers(500)))
+            ref = dijkstra_distance(graph, s, t)
+            for gt in (gt_py, gt_arr):
+                assert gt.distance(s, t) == pytest.approx(ref, rel=1e-9)
+
+    def test_query_kernels_identical_on_one_tree(self, graphs_and_trees):
+        # Same index, two query kernels: answers AND counters must match
+        # (this is where ArrayHeap + vectorised leaf relaxation runs).
+        graph, _, gt_arr = graphs_and_trees
+        objects = uniform_objects(graph, 0.04, seed=9, minimum=5)
+        knn_p = GTreeKNN(gt_arr, objects, kernel="python")
+        knn_a = GTreeKNN(gt_arr, objects, kernel="array")
+        rng = np.random.default_rng(17)
+        for _ in range(15):
+            q = int(rng.integers(500))
+            cp, ca = Counters(), Counters()
+            rp = knn_p.knn(q, 4, counters=cp)
+            ra = knn_a.knn(q, 4, counters=ca)
+            assert rp == ra
+            assert cp.as_dict() == ca.as_dict()
+
+    def test_original_leaf_search_kernels_agree(self, graphs_and_trees):
+        graph, _, gt_arr = graphs_and_trees
+        objects = uniform_objects(graph, 0.04, seed=9, minimum=5)
+        rp = GTreeKNN(
+            gt_arr, objects, improved_leaf_search=False, kernel="python"
+        ).knn(7, 3)
+        ra = GTreeKNN(
+            gt_arr, objects, improved_leaf_search=False, kernel="array"
+        ).knn(7, 3)
+        assert rp == ra
+
+
+class TestDisBrwKernelEquality:
+    @pytest.fixture(scope="class")
+    def silc_setup(self):
+        graph = grid_network(14, 14, seed=6)
+        silc = SILCIndex(graph, grid_bits=8)
+        objects = uniform_objects(graph, 0.08, seed=2, minimum=6)
+        return graph, silc, objects
+
+    @pytest.mark.parametrize("source", ["enn", "hierarchy"])
+    def test_answers_and_counters_identical(self, silc_setup, source):
+        graph, silc, objects = silc_setup
+        db_p = DistanceBrowsing(
+            silc, objects, candidate_source=source, kernel="python"
+        )
+        db_a = DistanceBrowsing(
+            silc, objects, candidate_source=source, kernel="array"
+        )
+        rng = np.random.default_rng(23)
+        for _ in range(12):
+            q = int(rng.integers(graph.num_vertices))
+            cp, ca = Counters(), Counters()
+            rp = db_p.knn(q, 4, counters=cp)
+            ra = db_a.knn(q, 4, counters=ca)
+            assert rp == ra
+            assert cp.as_dict() == ca.as_dict()
+
+    def test_vectorised_intervals_match_scalar(self, silc_setup):
+        graph, silc, _ = silc_setup
+        targets = np.arange(graph.num_vertices, dtype=np.int64)
+        for v in (0, 7, graph.num_vertices - 1):
+            lbs, ubs = silc.intervals_from(v, targets)
+            for t in range(graph.num_vertices):
+                lb, ub = silc.interval_from(v, int(t))
+                assert lbs[t] == lb and ubs[t] == ub
+
+
+class TestTNRKernelEquality:
+    def test_tables_access_and_distances_agree(self):
+        graph = road_network(400, seed=19)
+        ch = ContractionHierarchy(graph)
+        tnr_p = TransitNodeRouting(graph, ch=ch, kernel="python")
+        tnr_a = TransitNodeRouting(graph, ch=ch, kernel="array")
+        assert np.allclose(tnr_p.table, tnr_a.table, rtol=1e-12, atol=1e-12)
+        for v in range(graph.num_vertices):
+            assert sorted(tnr_p.access[v]) == sorted(tnr_a.access[v])
+        rng = np.random.default_rng(29)
+        for _ in range(20):
+            s, t = int(rng.integers(400)), int(rng.integers(400))
+            ref = dijkstra_distance(graph, s, t)
+            assert tnr_a.distance(s, t) == pytest.approx(ref, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+class TestEngineKernelKnob:
+    @pytest.fixture(scope="class")
+    def graph_objects(self):
+        graph = road_network(400, seed=31)
+        return graph, uniform_objects(graph, 0.03, seed=1, minimum=5)
+
+    def test_default_kernel_is_array(self, graph_objects, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        graph, objects = graph_objects
+        engine = QueryEngine(graph, objects)
+        assert engine.kernel == "array"
+        result = engine.query(10, k=3, method="ine")
+        assert result.kernel == "array"
+
+    def test_unknown_kernel_rejected(self, graph_objects):
+        graph, objects = graph_objects
+        with pytest.raises(ValueError, match="unknown kernel"):
+            QueryEngine(graph, objects, kernel="fast")
+
+    def test_kernels_answer_identically_across_methods(self, graph_objects):
+        graph, objects = graph_objects
+        eng_p = QueryEngine(graph, objects, kernel="python")
+        eng_a = QueryEngine(graph, objects, kernel="array")
+        for method in eng_a.available_methods():
+            rp = eng_p.query(42, k=4, method=method)
+            ra = eng_a.query(42, k=4, method=method)
+            assert rp == ra, method
+
+    def test_result_reports_resolved_kernel(self, graph_objects):
+        graph, objects = graph_objects
+        engine = QueryEngine(graph, objects, kernel="python")
+        assert engine.query(5, k=2, method="ine").kernel == "python"
+        # Methods without a kernel knob report None.
+        assert engine.query(5, k=2, method="ier-phl").kernel is None
+
+    def test_with_objects_preserves_kernel(self, graph_objects):
+        graph, objects = graph_objects
+        engine = QueryEngine(graph, objects, kernel="python")
+        assert engine.with_objects(objects[:3]).kernel == "python"
+
+    def test_explain_carries_kernels(self, graph_objects, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        graph, objects = graph_objects
+        engine = QueryEngine(graph, objects)
+        reports = engine.explain(11, k=3, methods=["ine", "gtree"])
+        assert reports["ine"].kernel == "array"
+        assert reports["gtree"].kernel == "array"

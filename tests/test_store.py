@@ -18,6 +18,7 @@ from repro.engine.workbench import IndexCache
 from repro.experiments.runner import Workbench
 from repro.graph.generators import road_network, travel_time_weights
 from repro.objects import uniform_objects
+from repro.kernels import default_kernel
 from repro.store import (
     FORMAT_VERSION,
     ArtifactMissing,
@@ -146,7 +147,10 @@ def test_warm_hub_labels_skip_the_ch_build(graph250, built_store):
 
 def test_loaded_index_reports_original_build_time(graph250, built_store):
     warm = Workbench(graph250, store=built_store)
-    info = built_store.info("gtree", artifact_key(graph250, {"tau": None, "seed": 0}))
+    info = built_store.info(
+        "gtree",
+        artifact_key(graph250, {"tau": None, "seed": 0, "kernel": default_kernel()}),
+    )
     assert warm.gtree.build_time() == pytest.approx(info.build_time_s)
 
 
@@ -190,7 +194,8 @@ def test_engine_accepts_store(tmp_path, graph250, objects250):
     result = engine.query(5, k=3, method="gtree")
     assert len(result) == 3
     assert store.contains(
-        "gtree", artifact_key(graph250, {"tau": None, "seed": 0})
+        "gtree",
+        artifact_key(graph250, {"tau": None, "seed": 0, "kernel": default_kernel()}),
     )
 
 
