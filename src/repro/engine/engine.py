@@ -187,6 +187,81 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def invalidate_algorithms(self) -> None:
+        """Drop every cached algorithm instance (rebuilt lazily on use).
+
+        Needed after the shared graph's weights change out from under
+        this engine — e.g. a sibling engine over the same workbench ran
+        :meth:`apply_updates` — because instances snapshot weight-derived
+        state at construction (INE's flat weight lists, oracle caches).
+        """
+        with self._algorithms_lock:
+            self._algorithms.clear()
+
+    def apply_updates(self, deltas: Sequence) -> "UpdateReport":
+        """Apply a mixed stream of live deltas; return what was touched.
+
+        ``deltas`` mixes :class:`~repro.updates.ObjectDelta` (add /
+        remove / move POIs in *this* engine's object set) and
+        :class:`~repro.updates.WeightDelta` (absolute travel-weight
+        changes on the shared road network).
+
+        Weight deltas flow through
+        :meth:`IndexCache.apply_weight_deltas`: the graph mutates once
+        and every built index is repaired in place (or dropped when it
+        cannot be).  All cached algorithm instances are then discarded —
+        they snapshot weights at construction.  Sibling engines sharing
+        the workbench must call :meth:`invalidate_algorithms` themselves
+        (the server does this for every registered category).
+
+        Object deltas are resolved into net adds/removes against the
+        current object set (validated in stream order — adding a present
+        object or removing a missing one raises ``ValueError``), then
+        pushed into every live algorithm instance via ``update_objects``;
+        instances whose object index cannot be patched in place are
+        dropped and noted in ``report.dropped``.
+        """
+        from repro.updates import (
+            UpdateReport,
+            net_object_changes,
+            split_deltas,
+        )
+
+        start = time.perf_counter()
+        obj_deltas, weight_deltas = split_deltas(deltas)
+        report = UpdateReport()
+        if weight_deltas:
+            changed, repaired, dropped = self.workbench.apply_weight_deltas(
+                weight_deltas
+            )
+            report.weight_changes.extend(changed)
+            for name, counters in repaired.items():
+                report.merge_repair(name, counters)
+            report.dropped.extend(dropped)
+            if changed:
+                self.invalidate_algorithms()
+        if obj_deltas:
+            added, removed = net_object_changes(obj_deltas, self.objects)
+            report.objects_added = len(added)
+            report.objects_removed = len(removed)
+            if added or removed:
+                removed_set = set(removed)
+                self.objects = [
+                    o for o in self.objects if o not in removed_set
+                ] + added
+                with self._algorithms_lock:
+                    for key, alg in list(self._algorithms.items()):
+                        try:
+                            alg.update_objects(added, removed)
+                        except NotImplementedError:
+                            del self._algorithms[key]
+                            report.dropped.append(f"{key[0]}-instance")
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
     def query(

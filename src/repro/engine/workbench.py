@@ -261,6 +261,60 @@ class IndexCache:
         ))
 
     # ------------------------------------------------------------------
+    # Live weight updates
+    # ------------------------------------------------------------------
+    def apply_weight_deltas(self, deltas: Sequence):
+        """Mutate the graph and repair the built indexes in place.
+
+        Coalesces ``deltas`` (last writer wins per edge), applies them to
+        the shared :class:`Graph` and then, per already-built index:
+
+        * ``gtree`` / ``road`` / ``ch`` — bounded in-place repair via the
+          index's own ``apply_weight_deltas`` (affected G-tree nodes /
+          ROAD Rnets / CH shortcuts only).  An index that cannot repair
+          itself (:class:`~repro.updates.RepairUnavailable`, e.g. loaded
+          without provenance) is dropped and rebuilt lazily on next use.
+        * ``silc`` / ``hub_labels`` / ``tnr`` — always dropped; their
+          all-pairs nature admits no bounded repair.
+
+        Unbuilt slots cost nothing.  Repaired indexes are *not* written
+        back to the store — the mutated graph has a new fingerprint, so
+        a later cold start simply rebuilds (and saves) under the new key;
+        artifacts for the old weights stay valid for the old graph.
+
+        Returns ``(changed, repaired, dropped)``: the graph's effective
+        ``(u, v, old, new)`` list, per-index repair counters, and the
+        names of dropped index kinds.
+        """
+        from repro.updates import RepairUnavailable, coalesce_weight_deltas
+
+        changed = self.graph.apply_weight_deltas(
+            coalesce_weight_deltas(deltas)
+        )
+        repaired: Dict[str, Dict[str, int]] = {}
+        dropped: List[str] = []
+        if not changed:
+            return changed, repaired, dropped
+        for kind in ("gtree", "road", "ch"):
+            slot = "_" + kind
+            with self._build_lock(kind):
+                index = getattr(self, slot)
+                if index is None:
+                    continue
+                try:
+                    repaired[kind] = index.apply_weight_deltas(changed)
+                except RepairUnavailable:
+                    setattr(self, slot, None)
+                    dropped.append(kind)
+        for kind in ("silc", "hub_labels", "tnr"):
+            slot = "_" + kind
+            with self._build_lock(kind):
+                if getattr(self, slot) is not None:
+                    setattr(self, slot, None)
+                    dropped.append(kind)
+        return changed, repaired, dropped
+
+    # ------------------------------------------------------------------
     def prebuild(self, kinds: Sequence[str]) -> List[str]:
         """Force-build (or warm-load) the named indexes, dependencies first.
 

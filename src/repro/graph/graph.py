@@ -24,7 +24,11 @@ from scipy.sparse.csgraph import connected_components
 
 
 class Graph:
-    """Immutable undirected road network in CSR form.
+    """Undirected road network in CSR form.
+
+    Topology is fixed after construction; edge weights may drift via
+    :meth:`apply_weight_deltas` (time-varying travel times), which keeps
+    the cached derived structures consistent.
 
     Attributes
     ----------
@@ -157,6 +161,55 @@ class Graph:
             name=f"{self.name}:{weight_kind}",
             weight_kind=weight_kind,
         )
+
+    def apply_weight_deltas(
+        self, deltas: Sequence
+    ) -> List[Tuple[int, int, float, float]]:
+        """Mutate edge weights in place from :class:`repro.updates.WeightDelta`s.
+
+        Each delta sets undirected edge ``(u, v)`` to the absolute weight
+        ``new_weight``; both directed copies are updated and the cached
+        CSR matrix, max-speed bound and fingerprint are invalidated (a
+        stale fingerprint would poison store artifacts and server result
+        caches).  Returns ``(u, v, old, new)`` for deltas that actually
+        changed a weight — replaying an already-applied batch yields an
+        empty list, making delta streams idempotent.
+
+        Raises ``KeyError`` for a missing edge and ``ValueError`` for a
+        non-positive weight, *before* mutating anything in that delta.
+        """
+        changed: List[Tuple[int, int, float, float]] = []
+        starts = self.vertex_start
+        targets = self.edge_target
+        weights = self.edge_weight
+        dirty = False
+        for delta in deltas:
+            u, v = int(delta.u), int(delta.v)
+            new_w = float(delta.new_weight)
+            if not new_w > 0.0:
+                raise ValueError(f"edge ({u}, {v}) weight must stay positive")
+            if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+                raise KeyError(f"edge ({u}, {v}) references unknown vertex")
+            pos_uv = starts[u] + np.nonzero(
+                targets[starts[u]:starts[u + 1]] == v
+            )[0]
+            pos_vu = starts[v] + np.nonzero(
+                targets[starts[v]:starts[v + 1]] == u
+            )[0]
+            if len(pos_uv) == 0 or len(pos_vu) == 0:
+                raise KeyError(f"no edge between {u} and {v}")
+            old_w = float(weights[pos_uv[0]])
+            if old_w == new_w:
+                continue
+            weights[pos_uv] = new_w
+            weights[pos_vu] = new_w
+            changed.append((u, v, old_w, new_w))
+            dirty = True
+        if dirty:
+            self._csr = None
+            self._max_speed = None
+            self._fingerprint = None
+        return changed
 
     def edge_list(self) -> List[Tuple[int, int, float]]:
         """Undirected edge list with u < v (each edge once)."""

@@ -37,6 +37,7 @@ from scipy.sparse.csgraph import floyd_warshall as _floyd_warshall
 from repro.graph.graph import Graph
 from repro.graph.partition import recursive_partition
 from repro.kernels.config import resolve_kernel
+from repro.updates import RepairUnavailable
 from repro.utils.arrays import concat_ragged, ragged_row
 from repro.utils.counters import BUILD_COUNTERS, Counters, NULL_COUNTERS
 from repro.utils.pqueue import BinaryHeap
@@ -293,6 +294,7 @@ class GTree:
         matrix_backend: str = "array",
         seed: int = 0,
         kernel: Optional[str] = None,
+        partition=None,
     ) -> None:
         if matrix_backend not in MATRIX_BACKENDS:
             raise ValueError(f"unknown matrix backend {matrix_backend!r}")
@@ -305,21 +307,26 @@ class GTree:
         self.kernel = resolve_kernel(kernel)
         BUILD_COUNTERS.add("build:gtree")
         start = time.perf_counter()
-        self._build(seed)
+        self._build(seed, partition)
         self._build_time = time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build(self, seed: int) -> None:
+    def _build(self, seed: int, partition=None) -> None:
         graph = self.graph
-        hierarchy = recursive_partition(
+        # The multilevel partitioner reads edge weights, so a rebuild
+        # after weight deltas may legitimately repartition; ``partition``
+        # lets callers (the rebuild-equality harness) pin the hierarchy
+        # an existing tree was built on.
+        hierarchy = partition if partition is not None else recursive_partition(
             graph,
             fanout=self.fanout,
             max_leaf_size=self.tau,
             seed=seed,
             method="geometric" if self.kernel == "array" else "multilevel",
         )
+        self.partition = hierarchy
 
         # Flatten the hierarchy into id-addressed nodes.
         self.nodes: List[GTreeNode] = []
@@ -545,6 +552,9 @@ class GTree:
                 node.matrix = ArrayMatrix(
                     self._multi_dijkstra(adj, list(range(len(node.child_borders))))
                 )
+        # Pass-1 matrices are the state incremental weight-delta repair
+        # restarts from, so keep them (see apply_weight_deltas).
+        self._raw = {node.id: node.matrix.m for node in self.nodes}
 
         # Pass 2 (top-down): inject parent-level exact border distances so
         # every matrix becomes globally exact (out-and-back paths).
@@ -762,8 +772,10 @@ class GTree:
         del self._pos_buf
 
         # Pass-1 matrices of children feed their parent's correction, so
-        # keep them and correct top-down in level order.
+        # keep them and correct top-down in level order.  They are also
+        # retained for incremental weight-delta repair.
         raw = {node.id: node.matrix.m for node in self.nodes}
+        self._raw = raw
         for node in sorted(self.nodes, key=lambda nd: nd.level):
             if node.id == self.root:
                 continue
@@ -786,6 +798,176 @@ class GTree:
             backend = MATRIX_BACKENDS[self.matrix_backend]
             for node in self.nodes:
                 node.matrix = backend(node.matrix.m)
+
+    # ------------------------------------------------------------------
+    # Incremental repair (live weight deltas)
+    # ------------------------------------------------------------------
+    def _ancestor_chain(self, node_id: int) -> List[int]:
+        chain: List[int] = []
+        while node_id >= 0:
+            chain.append(node_id)
+            node_id = self.nodes[node_id].parent
+        return chain
+
+    def apply_weight_deltas(
+        self, changed: Sequence[Tuple[int, int, float, float]]
+    ) -> Dict[str, int]:
+        """Repair distance matrices after in-place edge-weight changes.
+
+        ``changed`` is :meth:`Graph.apply_weight_deltas` output — the
+        graph already holds the new weights.  The repair replays the
+        exact two-pass build restricted to *affected* nodes (the union
+        of the ancestor chains of the changed edges' endpoint leaves):
+
+        * a raw edge appears in exactly one minigraph — the endpoint
+          leaf for an intra-leaf edge, else the LCA of the two endpoint
+          leaves — so pass-1 recomputation starts there and propagates
+          upward only while a child's raw matrix actually changed
+          (bitwise compare);
+        * pass 2 sweeps in the build's level order from an all-raw
+          matrix state, reusing the previous corrected matrix whenever
+          a node's raw matrix and its parent-clique block are both
+          bitwise unchanged.
+
+        Because every recomputation calls the same kernels on bitwise
+        identical inputs as a from-scratch build on this partition
+        hierarchy, the repaired tree is byte-identical to that rebuild.
+        Returns repair counters.  Raises :class:`RepairUnavailable` for
+        trees without raw matrices (loaded from the store) or non-array
+        matrix backends.
+        """
+        if getattr(self, "_raw", None) is None:
+            raise RepairUnavailable(
+                "gtree was loaded without pass-1 matrices; rebuild instead"
+            )
+        if self.matrix_backend != "array":
+            raise RepairUnavailable(
+                "gtree repair supports the array matrix backend only"
+            )
+        counters = {
+            "nodes_affected": 0,
+            "raw_recomputed": 0,
+            "corrected_recomputed": 0,
+            "leaves_reset": 0,
+        }
+        if not changed:
+            return counters
+
+        triggers: Set[int] = set()
+        affected: Set[int] = set()
+        for u, v, _old, _new in changed:
+            chain_u = self._ancestor_chain(int(self.leaf_of[int(u)]))
+            chain_v = self._ancestor_chain(int(self.leaf_of[int(v)]))
+            affected.update(chain_u)
+            affected.update(chain_v)
+            if chain_u[0] == chain_v[0]:
+                triggers.add(chain_u[0])
+            else:
+                common = set(chain_u) & set(chain_v)
+                triggers.add(max(common, key=lambda nid: self.nodes[nid].level))
+        counters["nodes_affected"] = len(affected)
+
+        raw = self._raw
+        old_corr = {node.id: node.matrix for node in self.nodes}
+        # Full-swap discipline: both build passes read *raw* child
+        # matrices, so restore the all-raw state the build passes see.
+        for node in self.nodes:
+            node.matrix = ArrayMatrix(raw[node.id])
+
+        if self.kernel == "array":
+            self._pos_buf = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+        try:
+            # Pass 1: bottom-up raw recomputation over affected nodes.
+            raw_changed: Set[int] = set()
+            for node in sorted(
+                (self.nodes[i] for i in affected), key=lambda nd: -nd.level
+            ):
+                if node.id not in triggers and not any(
+                    c in raw_changed for c in node.children
+                ):
+                    continue
+                if self.kernel == "array":
+                    new_raw = (
+                        self._leaf_matrix_bulk(node, None)
+                        if node.is_leaf
+                        else self._internal_matrix_bulk(node, None)
+                    )
+                elif node.is_leaf:
+                    new_raw = self._leaf_matrix(node, None)
+                else:
+                    adj = self._internal_minigraph(node, None)
+                    new_raw = self._multi_dijkstra(
+                        adj, list(range(len(node.child_borders)))
+                    )
+                counters["raw_recomputed"] += 1
+                if not np.array_equal(raw[node.id], new_raw):
+                    raw[node.id] = new_raw
+                    node.matrix = ArrayMatrix(new_raw)
+                    raw_changed.add(node.id)
+
+            # Pass 2: level-order correction sweep with bitwise pruning.
+            corrected_changed: Set[int] = set()
+            if self.root in raw_changed:
+                corrected_changed.add(self.root)
+            for node in sorted(self.nodes, key=lambda nd: nd.level):
+                if node.id == self.root:
+                    continue  # the root's corrected matrix IS its raw one
+                parent = self.nodes[node.parent]
+                if (
+                    node.id not in raw_changed
+                    and parent.id not in corrected_changed
+                ):
+                    node.matrix = old_corr[node.id]
+                    continue
+                clique = parent.matrix.m[
+                    np.ix_(node.pos_in_parent, node.pos_in_parent)
+                ]
+                if node.id not in raw_changed and np.array_equal(
+                    clique,
+                    old_corr[parent.id].m[
+                        np.ix_(node.pos_in_parent, node.pos_in_parent)
+                    ],
+                ):
+                    node.matrix = old_corr[node.id]
+                    continue
+                if self.kernel == "array":
+                    corrected = (
+                        self._correct_leaf(clique, raw[node.id])
+                        if node.is_leaf
+                        else self._correct_internal(
+                            raw[node.id], node.own_border_pos, clique
+                        )
+                    )
+                elif node.is_leaf:
+                    corrected = self._leaf_matrix(node, clique)
+                else:
+                    adj = self._internal_minigraph(node, clique)
+                    corrected = self._multi_dijkstra(
+                        adj, list(range(len(node.child_borders)))
+                    )
+                counters["corrected_recomputed"] += 1
+                node.matrix = ArrayMatrix(corrected)
+                if not np.array_equal(corrected, old_corr[node.id].m):
+                    corrected_changed.add(node.id)
+        finally:
+            if self.kernel == "array":
+                del self._pos_buf
+
+        # Leaf search caches embed raw edge weights and the parent
+        # clique; drop the stale ones for lazy rebuild.
+        for node in self.nodes:
+            if not node.is_leaf:
+                continue
+            if (
+                node.id in triggers
+                or node.id in raw_changed
+                or (node.parent >= 0 and node.parent in corrected_changed)
+            ):
+                if node.leaf_adj is not None or node.leaf_csr is not None:
+                    counters["leaves_reset"] += 1
+                node.leaf_adj = None
+                node.leaf_csr = None
+        return counters
 
     # ------------------------------------------------------------------
     # Assembly (materialized distance computation)
@@ -1112,7 +1294,12 @@ class GTree:
         self.root = 0
         self.leaf_of = np.asarray(arrays["leaf_of"], dtype=np.int64)
         self.leaf_index_of = np.asarray(arrays["leaf_index_of"], dtype=np.int64)
-        # leaf_adj is rebuilt lazily on first same-leaf search.
+        # leaf_adj is rebuilt lazily on first same-leaf search.  Pass-1
+        # matrices and the partition hierarchy are not serialized, so a
+        # loaded tree cannot repair in place (apply_weight_deltas raises
+        # RepairUnavailable and callers rebuild).
+        self._raw = None
+        self.partition = None
         return self
 
 
@@ -1172,6 +1359,9 @@ class OccurrenceList:
             if node_id in siblings:
                 break
             siblings.append(node_id)
+            # Keep child-id order canonical (node.children is ascending)
+            # so an incrementally maintained list matches a rebuilt one.
+            siblings.sort()
             node_id = parent
 
     def remove_object(self, vertex: int) -> None:

@@ -91,6 +91,7 @@ class RoadIndex:
         fanout: int = 4,
         levels: Optional[int] = None,
         seed: int = 0,
+        partition=None,
     ) -> None:
         self.graph = graph
         self.fanout = fanout
@@ -99,17 +100,21 @@ class RoadIndex:
         self.levels = levels
         BUILD_COUNTERS.add("build:road")
         start = time.perf_counter()
-        self._build(seed)
+        self._build(seed, partition)
         self._build_time = time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build(self, seed: int) -> None:
+    def _build(self, seed: int, partition=None) -> None:
         graph = self.graph
-        hierarchy = recursive_partition(
+        # The multilevel partitioner reads edge weights; ``partition``
+        # pins the hierarchy so a rebuild after weight deltas can be
+        # compared against in-place repair (see apply_weight_deltas).
+        hierarchy = partition if partition is not None else recursive_partition(
             graph, fanout=self.fanout, max_levels=self.levels, seed=seed
         )
+        self.partition = hierarchy
         self.rnets: List[RnetNode] = []
 
         def add(pnode, parent_id: int, level: int) -> int:
@@ -228,9 +233,66 @@ class RoadIndex:
         m = csr_matrix((data, (rows, cols)), shape=(n, n))
         return _csgraph_dijkstra(m, directed=True, indices=list(sources))
 
+    def _node_shortcut_matrix(self, node: RnetNode) -> np.ndarray:
+        """Within-Rnet border-to-border distances for one Rnet.
+
+        Leaves run Dijkstra over their induced subgraph; internal Rnets
+        over the minigraph of child shortcut cliques plus the original
+        cross edges between different children.  Children's matrices
+        must be current — both the build and the incremental repair call
+        this bottom-up.
+        """
+        graph = self.graph
+        if node.is_leaf:
+            verts = node.vertices
+            pos = {int(v): i for i, v in enumerate(verts)}
+            adj: List[List[Tuple[int, float]]] = [[] for _ in verts]
+            for v in verts:
+                i = pos[int(v)]
+                targets, weights = graph.neighbor_slice(int(v))
+                for t, w in zip(targets, weights):
+                    j = pos.get(int(t))
+                    if j is not None:
+                        adj[i].append((j, float(w)))
+            if not len(node.borders):
+                return np.empty((0, 0))
+            sources = [pos[int(b)] for b in node.borders]
+            return self._multi_dijkstra(adj, sources)[
+                :, [pos[int(b)] for b in node.borders]
+            ]
+        # Minigraph over child borders.  (Children partition vertices,
+        # so each border belongs to exactly one child.)
+        groups: List[np.ndarray] = []
+        for cid in node.children:
+            groups.append(self.rnets[cid].borders)
+        cb = np.concatenate(groups) if groups else np.empty(0, dtype=np.int64)
+        pos_of = {int(v): i for i, v in enumerate(cb)}
+        adj = [[] for _ in cb]
+        offset = 0
+        for cid in node.children:
+            child = self.rnets[cid]
+            bb = child.shortcut_matrix
+            nb = len(child.borders)
+            for a in range(nb):
+                for b2 in range(nb):
+                    if a != b2 and np.isfinite(bb[a, b2]):
+                        adj[offset + a].append((offset + b2, float(bb[a, b2])))
+            offset += nb
+        for i, u in enumerate(cb):
+            targets, weights = graph.neighbor_slice(int(u))
+            for t, w in zip(targets, weights):
+                j = pos_of.get(int(t))
+                if j is None:
+                    continue
+                if self._child_of(node, int(u)) != self._child_of(node, int(t)):
+                    adj[i].append((j, float(w)))
+        if not len(node.borders):
+            return np.empty((0, 0))
+        sources = [pos_of[int(b)] for b in node.borders]
+        return self._multi_dijkstra(adj, sources)[:, sources]
+
     def _build_shortcuts(self) -> None:
         """Bottom-up within-Rnet border-to-border distances."""
-        graph = self.graph
         post_order: List[RnetNode] = []
 
         def visit(node: RnetNode) -> None:
@@ -239,67 +301,75 @@ class RoadIndex:
             post_order.append(node)
 
         visit(self.rnets[self.root])
-
-        child_bb: Dict[int, np.ndarray] = {}
         for node in post_order:
-            if node.is_leaf:
-                verts = node.vertices
-                pos = {int(v): i for i, v in enumerate(verts)}
-                adj: List[List[Tuple[int, float]]] = [[] for _ in verts]
-                for v in verts:
-                    i = pos[int(v)]
-                    targets, weights = graph.neighbor_slice(int(v))
-                    for t, w in zip(targets, weights):
-                        j = pos.get(int(t))
-                        if j is not None:
-                            adj[i].append((j, float(w)))
-                sources = [pos[int(b)] for b in node.borders]
-                node.shortcut_matrix = self._multi_dijkstra(adj, sources)[
-                    :, [pos[int(b)] for b in node.borders]
-                ] if len(node.borders) else np.empty((0, 0))
+            node.shortcut_matrix = self._node_shortcut_matrix(node)
+
+    # ------------------------------------------------------------------
+    # Incremental repair (live weight deltas)
+    # ------------------------------------------------------------------
+    def apply_weight_deltas(
+        self, changed: Sequence[Tuple[int, int, float, float]]
+    ) -> Dict[str, int]:
+        """Repair shortcut matrices after in-place edge-weight changes.
+
+        ``changed`` is :meth:`Graph.apply_weight_deltas` output.  A raw
+        edge enters exactly one Rnet's computation directly — the
+        endpoint leaf for an intra-leaf edge, else the LCA Rnet of the
+        two endpoint leaves (the only Rnet where the endpoints fall in
+        *different* children, which is the minigraph's cross-edge test).
+        Repair recomputes bottom-up along the endpoint-leaf ancestor
+        chains, stopping early when a recomputed matrix is bitwise
+        unchanged, then refreshes the derived query structures (which
+        snapshot edge weights).  Because :meth:`_node_shortcut_matrix`
+        is the build's own per-node computation, the repaired index is
+        byte-identical to a rebuild on the same partition hierarchy.
+        """
+        counters = {
+            "rnets_affected": 0,
+            "shortcuts_recomputed": 0,
+            "shortcuts_changed": 0,
+        }
+        if not changed:
+            return counters
+        triggers: set = set()
+        affected: set = set()
+
+        def chain(node_id: int) -> List[int]:
+            out = []
+            while node_id >= 0:
+                out.append(node_id)
+                node_id = self.rnets[node_id].parent
+            return out
+
+        for u, v, _old, _new in changed:
+            chain_u = chain(int(self.leaf_of[int(u)]))
+            chain_v = chain(int(self.leaf_of[int(v)]))
+            affected.update(chain_u)
+            affected.update(chain_v)
+            if chain_u[0] == chain_v[0]:
+                triggers.add(chain_u[0])
             else:
-                # Minigraph over child borders.
-                groups: List[np.ndarray] = []
-                for cid in node.children:
-                    groups.append(self.rnets[cid].borders)
-                cb = (
-                    np.concatenate(groups)
-                    if groups
-                    else np.empty(0, dtype=np.int64)
-                )
-                # A vertex can border several sibling children only via
-                # distinct ids?  No: children partition vertices, so each
-                # border belongs to exactly one child.
-                pos_of = {int(v): i for i, v in enumerate(cb)}
-                adj = [[] for _ in cb]
-                offset = 0
-                for cid in node.children:
-                    child = self.rnets[cid]
-                    bb = child.shortcut_matrix
-                    nb = len(child.borders)
-                    for a in range(nb):
-                        for b2 in range(nb):
-                            if a != b2 and np.isfinite(bb[a, b2]):
-                                adj[offset + a].append(
-                                    (offset + b2, float(bb[a, b2]))
-                                )
-                    offset += nb
-                for i, u in enumerate(cb):
-                    targets, weights = graph.neighbor_slice(int(u))
-                    for t, w in zip(targets, weights):
-                        j = pos_of.get(int(t))
-                        if j is None:
-                            continue
-                        if self._child_of(node, int(u)) != self._child_of(
-                            node, int(t)
-                        ):
-                            adj[i].append((j, float(w)))
-                if len(node.borders):
-                    sources = [pos_of[int(b)] for b in node.borders]
-                    full = self._multi_dijkstra(adj, sources)
-                    node.shortcut_matrix = full[:, sources]
-                else:
-                    node.shortcut_matrix = np.empty((0, 0))
+                common = set(chain_u) & set(chain_v)
+                triggers.add(max(common, key=lambda nid: self.rnets[nid].level))
+        counters["rnets_affected"] = len(affected)
+        matrix_changed: set = set()
+        for node in sorted(
+            (self.rnets[i] for i in affected), key=lambda nd: -nd.level
+        ):
+            if node.id not in triggers and not any(
+                c in matrix_changed for c in node.children
+            ):
+                continue
+            new_matrix = self._node_shortcut_matrix(node)
+            counters["shortcuts_recomputed"] += 1
+            if not np.array_equal(node.shortcut_matrix, new_matrix):
+                node.shortcut_matrix = new_matrix
+                matrix_changed.add(node.id)
+        counters["shortcuts_changed"] = len(matrix_changed)
+        # The flat query-time lists snapshot edge weights and shortcut
+        # rows; always refresh them.
+        self._build_query_structures()
+        return counters
 
     def _child_of(self, node: RnetNode, vertex: int) -> int:
         li = int(self.leaf_index_of[vertex])
@@ -440,6 +510,9 @@ class RoadIndex:
         self.root = 0
         self.leaf_of = np.asarray(arrays["leaf_of"], dtype=np.int64)
         self.leaf_index_of = np.asarray(arrays["leaf_index_of"], dtype=np.int64)
+        # Not serialized; repair still works (it needs only the current
+        # shortcut matrices), but rebuild-equality pinning does not.
+        self.partition = None
         self._build_query_structures()
         return self
 

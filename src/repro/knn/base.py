@@ -26,6 +26,18 @@ class KNNAlgorithm:
     ) -> KNNResult:
         raise NotImplementedError
 
+    def update_objects(
+        self, added: Sequence[int], removed: Sequence[int]
+    ) -> None:
+        """Apply a net object-set change to this instance's object index.
+
+        Implementations must leave the instance answering queries as if
+        it had been constructed with the updated object set.  The
+        default raises ``NotImplementedError``; the engine then drops
+        the instance and rebuilds it lazily on next use.
+        """
+        raise NotImplementedError
+
     @staticmethod
     def _finalise(results: Sequence[Tuple[float, int]], k: int) -> KNNResult:
         """Sort by (distance, vertex) and truncate to k."""

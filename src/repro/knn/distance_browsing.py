@@ -205,6 +205,30 @@ class DistanceBrowsing(KNNAlgorithm):
             )
 
     # ------------------------------------------------------------------
+    def update_objects(
+        self, added: Sequence[int], removed: Sequence[int]
+    ) -> None:
+        """Maintain the DB-ENN R-tree in place (live POI deltas).
+
+        The object-hierarchy variant's Morton quadtree carries packed
+        index ranges that a point update cannot repair, so it keeps the
+        base behaviour: the engine drops and rebuilds the instance.
+        """
+        if self.candidate_source != "enn":
+            raise NotImplementedError(
+                "object-hierarchy candidate source requires a rebuild"
+            )
+        graph = self.graph
+        for o in removed:
+            o = int(o)
+            self.rtree.remove(float(graph.x[o]), float(graph.y[o]), o)
+            self.objects.remove(o)
+        for o in added:
+            o = int(o)
+            self.rtree.insert(float(graph.x[o]), float(graph.y[o]), o)
+            self.objects.append(o)
+
+    # ------------------------------------------------------------------
     def knn(
         self, query: int, k: int, counters: Counters = NULL_COUNTERS
     ) -> KNNResult:

@@ -89,6 +89,15 @@ class GTreeKNN(KNNAlgorithm):
         self.improved_leaf_search = improved_leaf_search
         self.kernel = resolve_kernel(kernel)
 
+    def update_objects(
+        self, added: Sequence[int], removed: Sequence[int]
+    ) -> None:
+        """Incrementally maintain the occurrence list (live POI deltas)."""
+        for o in removed:
+            self.ol.remove_object(int(o))
+        for o in added:
+            self.ol.add_object(int(o))
+
     # ------------------------------------------------------------------
     # Leaf searches
     # ------------------------------------------------------------------

@@ -61,6 +61,20 @@ class IER(KNNAlgorithm):
         )
         self.name = f"ier-{getattr(oracle, 'name', 'oracle')}"
 
+    def update_objects(
+        self, added: Sequence[int], removed: Sequence[int]
+    ) -> None:
+        """Incrementally maintain the object R-tree (live POI deltas)."""
+        graph = self.graph
+        for o in removed:
+            o = int(o)
+            self.rtree.remove(float(graph.x[o]), float(graph.y[o]), o)
+            self.objects.remove(o)
+        for o in added:
+            o = int(o)
+            self.rtree.insert(float(graph.x[o]), float(graph.y[o]), o)
+            self.objects.append(o)
+
     def knn(
         self, query: int, k: int, counters: Counters = NULL_COUNTERS
     ) -> KNNResult:

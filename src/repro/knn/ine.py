@@ -81,6 +81,24 @@ class INE(KNNAlgorithm):
             self._et = graph.edge_target.tolist()
             self._ew = graph.edge_weight.tolist()
 
+    def update_objects(
+        self, added: Sequence[int], removed: Sequence[int]
+    ) -> None:
+        """Apply a net object-set change in place (live POI deltas)."""
+        for o in removed:
+            o = int(o)
+            self.object_set.discard(o)
+            self.object_flags.unset(o)
+        for o in added:
+            o = int(o)
+            self.object_set.add(o)
+            self.object_flags.set(o)
+        if self.variant == "graph" and self.kernel == "array":
+            self._objects_arr = np.fromiter(
+                sorted(self.object_set), dtype=np.int64,
+                count=len(self.object_set),
+            )
+
     def knn(
         self, query: int, k: int, counters: Counters = NULL_COUNTERS
     ) -> KNNResult:

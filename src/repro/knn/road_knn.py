@@ -43,6 +43,15 @@ class RoadKNN(KNNAlgorithm):
         self.ad = directory
         self.skip_visited_borders = skip_visited_borders
 
+    def update_objects(
+        self, added: Sequence[int], removed: Sequence[int]
+    ) -> None:
+        """Incrementally maintain the association directory."""
+        for o in removed:
+            self.ad.remove_object(int(o))
+        for o in added:
+            self.ad.add_object(int(o))
+
     def knn(
         self, query: int, k: int, counters: Counters = NULL_COUNTERS
     ) -> KNNResult:

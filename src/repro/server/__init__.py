@@ -37,6 +37,7 @@ from repro.server.loadgen import (
     LoadReport,
     percentile,
     run_closed_loop,
+    run_mixed_closed_loop,
     run_open_loop,
     sequential_baseline,
 )
@@ -52,10 +53,12 @@ from repro.server.request import (
 )
 from repro.server.server import KNNServer, ServerClosed, UnknownCategory
 from repro.server.workloads import (
+    UpdateItem,
     WorkItem,
     category_switching_workload,
     diurnal_workload,
     hotspot_workload,
+    mixed_update_workload,
     uniform_workload,
     zipf_weights,
 )
@@ -78,14 +81,17 @@ __all__ = [
     "BatchGroup",
     "coalesce",
     "WorkItem",
+    "UpdateItem",
     "uniform_workload",
     "hotspot_workload",
     "diurnal_workload",
     "category_switching_workload",
+    "mixed_update_workload",
     "zipf_weights",
     "LoadReport",
     "percentile",
     "run_closed_loop",
     "run_open_loop",
+    "run_mixed_closed_loop",
     "sequential_baseline",
 ]

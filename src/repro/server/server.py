@@ -34,6 +34,7 @@ Typical use::
 from __future__ import annotations
 
 import collections
+import contextlib
 import threading
 import time
 from typing import Dict, List, Optional, Sequence
@@ -65,6 +66,54 @@ class UnknownCategory(KeyError):
             f"unknown category {category!r}; server holds: {names}"
         )
         self.category = category
+
+
+class _RWLock:
+    """Writer-priority readers-writer lock for live updates.
+
+    Query workers hold read locks (many at once); ``apply_updates``
+    holds the write lock, so no query ever observes a half-repaired
+    index or a graph whose weights changed mid-search.  Writer priority
+    — new readers queue behind a waiting writer — bounds update latency
+    under sustained query load.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
 
 
 class KNNServer:
@@ -125,7 +174,9 @@ class KNNServer:
             self._engines[name] = engine.with_objects(objects)
             self._objects_fp[name] = objects_fingerprint(objects)
         # One mutex guards the queue, the stats and the engine/category
-        # maps; workers block on the condition, never spin.
+        # maps; workers block on the condition, never spin.  The RW lock
+        # fences queries (readers) against live updates (the writer).
+        self._update_lock = _RWLock()
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._queue: collections.deque = collections.deque()
@@ -277,6 +328,65 @@ class KNNServer:
         if old_fp is not None and old_fp != new_fp:
             self.cache.invalidate(old_fp)
 
+    def apply_updates(
+        self, deltas: Sequence, category: Optional[str] = None
+    ):
+        """Apply live deltas under the write lock; returns the report.
+
+        Takes the writer side of the update lock, so every in-flight
+        query drains first and none starts until the indexes and cache
+        are consistent again.
+
+        * **Weight deltas** (shared road network) go through the default
+          engine's :meth:`~repro.engine.engine.QueryEngine.apply_updates`
+          — one graph mutation plus in-place index repair.  Every other
+          category engine then drops its algorithm instances (they
+          snapshot weights), the cached graph fingerprint is refreshed
+          and the *whole* result cache is invalidated: every prior
+          answer was computed on the old weights.
+        * **Object deltas** target exactly one ``category``'s engine;
+          only cache entries under that category's outgoing object
+          fingerprint are invalidated — other categories' entries stay
+          hot, the same targeted rule :meth:`with_objects` uses.
+        """
+        from repro.updates import UpdateReport, split_deltas
+
+        obj_deltas, weight_deltas = split_deltas(deltas)
+        report = UpdateReport()
+        start = time.monotonic()
+        with self._update_lock.write():
+            if weight_deltas:
+                with self._lock:
+                    default = self._engines[None]
+                    others = [
+                        e for e in self._engines.values() if e is not default
+                    ]
+                sub = default.apply_updates(weight_deltas)
+                report.weight_changes.extend(sub.weight_changes)
+                for name, counters in sub.repaired.items():
+                    report.merge_repair(name, counters)
+                report.dropped.extend(sub.dropped)
+                if sub.weights_changed:
+                    for engine in others:
+                        engine.invalidate_algorithms()
+                    with self._lock:
+                        self._graph_fp = default.graph.fingerprint()
+                    self.cache.invalidate()
+            if obj_deltas:
+                engine = self.engine_for(category)
+                sub = engine.apply_updates(obj_deltas)
+                report.objects_added += sub.objects_added
+                report.objects_removed += sub.objects_removed
+                report.dropped.extend(sub.dropped)
+                new_fp = objects_fingerprint(engine.objects)
+                with self._lock:
+                    old_fp = self._objects_fp.get(category)
+                    self._objects_fp[category] = new_fp
+                if old_fp is not None and old_fp != new_fp:
+                    self.cache.invalidate(old_fp)
+        report.elapsed_s = time.monotonic() - start
+        return report
+
     def categories(self) -> List[Optional[str]]:
         with self._lock:
             return list(self._engines)
@@ -354,30 +464,37 @@ class KNNServer:
                 live.append(pending)
         if not live:
             return
-        engine, objects_fp = self._category_state(group.category)
         cache_hit = False
         result = None
         error: Optional[str] = None
-        try:
-            key = result_key(
-                self._graph_fp,
-                objects_fp,
-                group.vertex,
-                group.k,
-                # Cache under the planner's resolution so "auto" and the
-                # explicit method it resolves to share entries.  This can
-                # raise (UnknownMethod on a bad client-supplied name), so
-                # it runs inside the answer-the-waiters guard.
-                engine.resolve_method(group.method, group.k),
-            )
-            result = self.cache.get(key)
-            if result is not None:
-                cache_hit = True
-            else:
-                result = engine.query(group.vertex, group.k, method=group.method)
-                self.cache.put(key, result)
-        except Exception as exc:  # answer the waiters, don't kill the worker
-            error = f"{type(exc).__name__}: {exc}"
+        # The read side of the update lock: queries in this section see
+        # a frozen (graph weights, indexes, object sets, cache) world; a
+        # concurrent apply_updates waits for it to drain.
+        with self._update_lock.read():
+            engine, objects_fp = self._category_state(group.category)
+            try:
+                key = result_key(
+                    self._graph_fp,
+                    objects_fp,
+                    group.vertex,
+                    group.k,
+                    # Cache under the planner's resolution so "auto" and
+                    # the explicit method it resolves to share entries.
+                    # This can raise (UnknownMethod on a bad
+                    # client-supplied name), so it runs inside the
+                    # answer-the-waiters guard.
+                    engine.resolve_method(group.method, group.k),
+                )
+                result = self.cache.get(key)
+                if result is not None:
+                    cache_hit = True
+                else:
+                    result = engine.query(
+                        group.vertex, group.k, method=group.method
+                    )
+                    self.cache.put(key, result)
+            except Exception as exc:  # answer waiters, don't kill the worker
+                error = f"{type(exc).__name__}: {exc}"
         for i, pending in enumerate(live):
             if error is not None:
                 response = ServerResponse(

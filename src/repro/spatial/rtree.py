@@ -117,6 +117,96 @@ class RTree:
         return level[0]
 
     # ------------------------------------------------------------------
+    # Incremental maintenance (live object deltas)
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float, item: int) -> None:
+        """Insert one point, descending by least bbox enlargement.
+
+        Cursor correctness does not depend on tree quality — node bboxes
+        only need to *contain* their points for ``min_dist`` to stay a
+        valid lower bound — so a simple quadratic-split-free insert
+        (overflow splits along the longer bbox axis) is enough.
+        """
+        record = (float(x), float(y), int(item))
+        node = self.root
+        path: List[_Node] = []
+        while not node.is_leaf:
+            path.append(node)
+            node = min(node.children, key=lambda c: self._enlargement(c, record))
+        node.entries.append(record)
+        for n in path + [node]:
+            n.extend_bbox(record[0], record[1], record[0], record[1])
+        self.num_items += 1
+        if len(node.entries) > self.node_capacity:
+            self._split_leaf(node, path)
+
+    def remove(self, x: float, y: float, item: int) -> bool:
+        """Remove one point; returns False when not found.
+
+        Bounding boxes are *not* shrunk — a too-large bbox is still a
+        valid (merely looser) lower bound for the cursor.  Emptied leaf
+        chains are pruned so dead nodes do not linger on the heap.
+        """
+        record = (float(x), float(y), int(item))
+        found = self._remove_rec(self.root, record)
+        if found:
+            self.num_items -= 1
+        return found
+
+    @staticmethod
+    def _enlargement(node: _Node, record: Tuple[float, float, int]) -> float:
+        px, py = record[0], record[1]
+        min_x, min_y = min(node.min_x, px), min(node.min_y, py)
+        max_x, max_y = max(node.max_x, px), max(node.max_y, py)
+        return (max_x - min_x) * (max_y - min_y) - max(
+            0.0, (node.max_x - node.min_x) * (node.max_y - node.min_y)
+        )
+
+    def _split_leaf(self, node: _Node, path: List[_Node]) -> None:
+        axis = 0 if (node.max_x - node.min_x) >= (node.max_y - node.min_y) else 1
+        node.entries.sort(key=lambda r: r[axis])
+        half = len(node.entries) // 2
+        sibling = _Node()
+        sibling.entries = node.entries[half:]
+        node.entries = node.entries[:half]
+        for part in (node, sibling):
+            part.min_x = part.min_y = math.inf
+            part.max_x = part.max_y = -math.inf
+            for rx, ry, _ in part.entries:
+                part.extend_bbox(rx, ry, rx, ry)
+        if path:
+            parent = path[-1]
+            parent.children.append(sibling)
+            # Parent bboxes along the path already contain both halves; an
+            # oversized internal node is tolerated (bboxes stay valid).
+        else:
+            new_root = _Node()
+            new_root.children = [node, sibling]
+            for child in new_root.children:
+                new_root.extend_bbox(
+                    child.min_x, child.min_y, child.max_x, child.max_y
+                )
+            self.root = new_root
+
+    def _remove_rec(self, node: _Node, record: Tuple[float, float, int]) -> bool:
+        if node.is_leaf:
+            try:
+                node.entries.remove(record)
+            except ValueError:
+                return False
+            return True
+        for child in node.children:
+            if (
+                child.min_x <= record[0] <= child.max_x
+                and child.min_y <= record[1] <= child.max_y
+                and self._remove_rec(child, record)
+            ):
+                if not child.children and not child.entries:
+                    node.children.remove(child)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def knn(self, px: float, py: float, k: int) -> List[Tuple[float, int]]:

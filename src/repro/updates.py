@@ -1,0 +1,211 @@
+"""Delta types for the live-update engine.
+
+This module is deliberately dependency-free (only stdlib) so that index
+modules (:mod:`repro.index.gtree`, :mod:`repro.index.road`,
+:mod:`repro.pathfinding.ch`) can import :class:`RepairUnavailable`
+without circular imports, and so delta objects can cross thread
+boundaries cheaply.
+
+Delta semantics
+---------------
+
+* :class:`ObjectDelta` — add/remove/move a POI (a vertex id) in one
+  category's object set.  ``move`` is sugar for remove(vertex) +
+  add(target).  Adding an existing object or removing a missing one is
+  an error surfaced by :meth:`repro.engine.engine.QueryEngine.apply_updates`.
+* :class:`WeightDelta` — set the travel weight of undirected edge
+  ``(u, v)`` to the **absolute** value ``new_weight``.  Absolute (not
+  relative) weights make replaying a delta stream idempotent: applying
+  the same batch twice leaves the graph unchanged, which is what lets
+  several engines share one mutated workbench.
+
+Repair contracts
+----------------
+
+Incremental repair must be *byte-identical* to a from-scratch rebuild on
+the same partition hierarchy: repaired index matrices compare equal with
+``np.array_equal`` and repaired kNN answers match rebuilt answers
+exactly.  An index that cannot honour that contract for a given state
+(e.g. it was loaded from the store without repair provenance) raises
+:class:`RepairUnavailable`; callers fall back to dropping the index and
+rebuilding lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class RepairUnavailable(Exception):
+    """The index cannot repair itself in place; rebuild instead."""
+
+
+@dataclass(frozen=True)
+class ObjectDelta:
+    """One POI mutation: ``kind`` is ``"add"``, ``"remove"`` or ``"move"``."""
+
+    kind: str
+    vertex: int
+    target: int = -1  # destination vertex for "move"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "remove", "move"):
+            raise ValueError(f"unknown object delta kind {self.kind!r}")
+        if self.kind == "move" and self.target < 0:
+            raise ValueError("move delta needs a target vertex")
+
+
+@dataclass(frozen=True)
+class WeightDelta:
+    """Set undirected edge ``(u, v)`` travel weight to ``new_weight``."""
+
+    u: int
+    v: int
+    new_weight: float
+
+    def __post_init__(self) -> None:
+        if not self.new_weight > 0.0:
+            raise ValueError("edge weights must stay positive")
+
+
+def add_object(vertex: int) -> ObjectDelta:
+    return ObjectDelta("add", int(vertex))
+
+
+def remove_object(vertex: int) -> ObjectDelta:
+    return ObjectDelta("remove", int(vertex))
+
+
+def move_object(vertex: int, target: int) -> ObjectDelta:
+    return ObjectDelta("move", int(vertex), int(target))
+
+
+def set_weight(u: int, v: int, new_weight: float) -> WeightDelta:
+    return WeightDelta(int(u), int(v), float(new_weight))
+
+
+@dataclass
+class UpdateReport:
+    """What one ``apply_updates`` call touched, for tests and benchmarks.
+
+    ``repaired`` maps index name -> per-index repair counters (e.g. the
+    number of G-tree nodes whose matrices were actually recomputed);
+    ``dropped`` lists indexes/algorithm instances that could not repair
+    in place and will be rebuilt lazily on next use.
+    """
+
+    objects_added: int = 0
+    objects_removed: int = 0
+    weight_changes: List[Tuple[int, int, float, float]] = field(
+        default_factory=list
+    )
+    repaired: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    dropped: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def weights_changed(self) -> int:
+        return len(self.weight_changes)
+
+    def merge_repair(self, name: str, counters: Dict[str, int]) -> None:
+        slot = self.repaired.setdefault(name, {})
+        for key, value in counters.items():
+            slot[key] = slot.get(key, 0) + int(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "objects_added": self.objects_added,
+            "objects_removed": self.objects_removed,
+            "weights_changed": self.weights_changed,
+            "repaired": {k: dict(v) for k, v in self.repaired.items()},
+            "dropped": list(self.dropped),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def split_deltas(
+    deltas: Sequence[object],
+) -> Tuple[List[ObjectDelta], List[WeightDelta]]:
+    """Partition a mixed delta stream, rejecting unknown types."""
+    objs: List[ObjectDelta] = []
+    weights: List[WeightDelta] = []
+    for delta in deltas:
+        if isinstance(delta, ObjectDelta):
+            objs.append(delta)
+        elif isinstance(delta, WeightDelta):
+            weights.append(delta)
+        else:
+            raise TypeError(f"not a delta: {delta!r}")
+    return objs, weights
+
+
+def net_object_changes(
+    deltas: Sequence[ObjectDelta],
+    current: Sequence[int],
+) -> Tuple[List[int], List[int]]:
+    """Resolve a delta stream against ``current`` into net adds/removes.
+
+    Validates each delta in order against the evolving set, so e.g.
+    remove(v) followed by add(v) is legal and nets out to nothing.
+    """
+    present = set(int(o) for o in current)
+    added: set = set()
+    removed: set = set()
+
+    def _add(v: int) -> None:
+        if v in present:
+            raise ValueError(f"object {v} already present")
+        present.add(v)
+        if v in removed:
+            removed.discard(v)
+        else:
+            added.add(v)
+
+    def _remove(v: int) -> None:
+        if v not in present:
+            raise ValueError(f"object {v} not present")
+        present.discard(v)
+        if v in added:
+            added.discard(v)
+        else:
+            removed.add(v)
+
+    for delta in deltas:
+        if delta.kind == "add":
+            _add(int(delta.vertex))
+        elif delta.kind == "remove":
+            _remove(int(delta.vertex))
+        else:  # move
+            _remove(int(delta.vertex))
+            _add(int(delta.target))
+    return sorted(added), sorted(removed)
+
+
+def coalesce_weight_deltas(
+    deltas: Sequence[WeightDelta],
+) -> List[WeightDelta]:
+    """Last-writer-wins per undirected edge, preserving first-seen order."""
+    latest: Dict[Tuple[int, int], WeightDelta] = {}
+    order: List[Tuple[int, int]] = []
+    for delta in deltas:
+        key = (min(delta.u, delta.v), max(delta.u, delta.v))
+        if key not in latest:
+            order.append(key)
+        latest[key] = delta
+    return [latest[key] for key in order]
+
+
+__all__ = [
+    "RepairUnavailable",
+    "ObjectDelta",
+    "WeightDelta",
+    "UpdateReport",
+    "add_object",
+    "remove_object",
+    "move_object",
+    "set_weight",
+    "split_deltas",
+    "net_object_changes",
+    "coalesce_weight_deltas",
+]

@@ -1,4 +1,25 @@
-"""Shared fixtures: small deterministic networks and object sets."""
+"""Shared fixtures: small deterministic networks and object sets.
+
+Seeding convention
+------------------
+Every source of randomness in this repo is an explicit integer seed fed
+to ``numpy.random.default_rng`` — never the global numpy state, never
+time-based.  The rules, applied across test fixtures, graph/object
+generators and the ``repro.server.workloads`` generators:
+
+* anything random takes a ``seed=`` parameter and must be fully
+  deterministic in it — same seed, same graph / object set / workload
+  (``tests/test_live_updates.py`` asserts this for the workload
+  generators);
+* a function with several independent random decisions derives distinct
+  streams as ``seed + small_offset`` (``diurnal_workload`` draws
+  arrival times from ``seed`` and the underlying hotspot picks from
+  ``seed + 1``), so adding a decision never perturbs existing streams;
+* the session-scoped fixtures below are *shared state*: tests must not
+  mutate them.  In particular, weight-delta tests build their own
+  function-scoped graphs — ``Graph.apply_weight_deltas`` on ``road400``
+  would corrupt every later test in the session.
+"""
 
 from __future__ import annotations
 

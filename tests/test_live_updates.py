@@ -1,0 +1,631 @@
+"""Live-update engine: metamorphic equivalence of incremental repair.
+
+The contract under test: any delta stream (POI add/remove/move,
+travel-weight changes) applied *incrementally* — R-tree point updates,
+occurrence-list/association-directory patches, G-tree / ROAD / CH
+bounded repair — must leave every structure answering exactly as a
+from-scratch rebuild over the final state.  "Exactly" means
+byte-identical: ``np.array_equal`` on index matrices, ``==`` on kNN
+result tuples.
+
+Weight-delta tests mutate graphs in place, so every one of them builds
+its own function-scoped network instead of touching the session-scoped
+``road400`` fixture (see the seeding convention in ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.graph.generators import road_network
+from repro.index.gtree import GTree, GTreeOracle
+from repro.index.road import RoadIndex
+from repro.knn.gtree_knn import GTreeKNN
+from repro.knn.ier import IER, euclidean_knn_brute_force
+from repro.knn.ine import INE, ine_knn
+from repro.knn.road_knn import RoadKNN
+from repro.knn.base import KNNAlgorithm
+from repro.objects import uniform_objects
+from repro.pathfinding.ch import ContractionHierarchy
+from repro.pathfinding.dijkstra import dijkstra_distance
+from repro.spatial.rtree import RTree
+from repro.updates import (
+    ObjectDelta,
+    RepairUnavailable,
+    WeightDelta,
+    add_object,
+    coalesce_weight_deltas,
+    move_object,
+    net_object_changes,
+    remove_object,
+    set_weight,
+    split_deltas,
+)
+
+KERNELS = ("python", "array")
+
+
+def fresh_graph(n: int = 300, seed: int = 11):
+    """A private mutable graph — never a shared fixture."""
+    return road_network(n, seed=seed)
+
+
+def random_weight_deltas(graph, rng, count, lo=0.5, hi=2.0):
+    """Absolute weight deltas scaling random incident edges."""
+    deltas = []
+    for _ in range(count):
+        u = int(rng.integers(0, graph.num_vertices))
+        start, end = int(graph.vertex_start[u]), int(graph.vertex_start[u + 1])
+        if start == end:
+            continue
+        j = int(rng.integers(start, end))
+        deltas.append(set_weight(
+            u, int(graph.edge_target[j]),
+            float(graph.edge_weight[j]) * float(rng.uniform(lo, hi)),
+        ))
+    return deltas
+
+
+def random_object_deltas(graph, objects, rng, count):
+    """A valid add/remove/move stream tracked against the evolving set."""
+    present = set(int(o) for o in objects)
+    free = sorted(set(range(graph.num_vertices)) - present)
+    deltas = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.4 and free:
+            v = free.pop(int(rng.integers(0, len(free))))
+            present.add(v)
+            deltas.append(add_object(v))
+        elif roll < 0.7 and len(present) > 1:
+            v = int(rng.choice(sorted(present)))
+            present.discard(v)
+            free.append(v)
+            deltas.append(remove_object(v))
+        elif free and present:
+            src = int(rng.choice(sorted(present)))
+            dst = free.pop(int(rng.integers(0, len(free))))
+            present.discard(src)
+            present.add(dst)
+            free.append(src)
+            deltas.append(move_object(src, dst))
+    return deltas
+
+
+# ----------------------------------------------------------------------
+# Delta types and stream algebra
+# ----------------------------------------------------------------------
+class TestDeltaTypes:
+    def test_object_delta_validation(self):
+        with pytest.raises(ValueError):
+            ObjectDelta("teleport", 3)
+        with pytest.raises(ValueError):
+            ObjectDelta("move", 3)  # move needs a target
+        assert move_object(3, 9).target == 9
+
+    def test_weight_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WeightDelta(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            set_weight(0, 1, -2.0)
+
+    def test_split_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            split_deltas([add_object(1), "not a delta"])
+        objs, weights = split_deltas([add_object(1), set_weight(0, 1, 2.0)])
+        assert len(objs) == 1 and len(weights) == 1
+
+    def test_net_object_changes_cancel_out(self):
+        added, removed = net_object_changes(
+            [remove_object(5), add_object(5)], current=[5, 7]
+        )
+        assert added == [] and removed == []
+
+    def test_net_object_changes_move(self):
+        added, removed = net_object_changes([move_object(5, 9)], current=[5])
+        assert added == [9] and removed == [5]
+
+    def test_net_object_changes_validates_stream_order(self):
+        with pytest.raises(ValueError):
+            net_object_changes([add_object(5)], current=[5])
+        with pytest.raises(ValueError):
+            net_object_changes([remove_object(9)], current=[5])
+        # Valid *because* evaluated in order: add then remove the same id.
+        added, removed = net_object_changes(
+            [add_object(9), remove_object(9)], current=[5]
+        )
+        assert added == [] and removed == []
+
+    def test_coalesce_last_writer_wins(self):
+        merged = coalesce_weight_deltas([
+            set_weight(1, 2, 5.0),
+            set_weight(3, 4, 7.0),
+            set_weight(2, 1, 9.0),  # same undirected edge as the first
+        ])
+        assert [(d.u, d.v, d.new_weight) for d in merged] == [
+            (2, 1, 9.0), (3, 4, 7.0)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Graph weight mutation
+# ----------------------------------------------------------------------
+class TestGraphWeightDeltas:
+    def test_applies_both_directions_and_invalidates_caches(self):
+        g = fresh_graph()
+        fp_before = g.fingerprint()
+        u = int(np.argmax(np.diff(g.vertex_start)))
+        v = int(g.edge_target[g.vertex_start[u]])
+        changed = g.apply_weight_deltas([set_weight(u, v, 123.25)])
+        assert len(changed) == 1
+        (cu, cv, old, new) = changed[0]
+        assert (cu, cv, new) == (u, v, 123.25) and old != new
+        # both directed copies mutated
+        for a, b in ((u, v), (v, u)):
+            s, e = int(g.vertex_start[a]), int(g.vertex_start[a + 1])
+            row = g.edge_weight[s:e][g.edge_target[s:e] == b]
+            assert np.all(row == 123.25)
+        assert g.fingerprint() != fp_before
+
+    def test_missing_edge_and_unknown_vertex_raise(self):
+        g = fresh_graph()
+        u = 0
+        non_neighbor = next(
+            v for v in range(g.num_vertices - 1, 0, -1)
+            if v not in set(
+                g.edge_target[g.vertex_start[0]:g.vertex_start[1]].tolist()
+            )
+        )
+        with pytest.raises(KeyError):
+            g.apply_weight_deltas([set_weight(u, non_neighbor, 1.0)])
+        with pytest.raises(KeyError):
+            g.apply_weight_deltas([set_weight(0, g.num_vertices + 5, 1.0)])
+
+    def test_replay_is_idempotent(self):
+        g = fresh_graph()
+        rng = np.random.default_rng(2)
+        deltas = random_weight_deltas(g, rng, 8)
+        first = g.apply_weight_deltas(deltas)
+        assert first  # something changed
+        assert g.apply_weight_deltas(deltas) == []  # absolute => no-op
+
+
+# ----------------------------------------------------------------------
+# R-tree point maintenance
+# ----------------------------------------------------------------------
+class TestRTreeMaintenance:
+    def test_insert_remove_stream_matches_brute_force(self, road400):
+        g = road400
+        rng = np.random.default_rng(17)
+        live = list(range(0, g.num_vertices, 7))
+        tree = RTree(
+            [g.x[o] for o in live], [g.y[o] for o in live], items=live,
+            node_capacity=8,
+        )
+        pool = sorted(set(range(g.num_vertices)) - set(live))
+        for step in range(60):
+            if rng.random() < 0.5 and pool:
+                v = pool.pop(int(rng.integers(0, len(pool))))
+                tree.insert(float(g.x[v]), float(g.y[v]), v)
+                live.append(v)
+            elif len(live) > 5:
+                v = live.pop(int(rng.integers(0, len(live))))
+                assert tree.remove(float(g.x[v]), float(g.y[v]), v)
+                pool.append(v)
+            q = int(rng.integers(0, g.num_vertices))
+            got = []
+            cursor = tree.nearest_cursor(float(g.x[q]), float(g.y[q]))
+            for _ in range(5):
+                nxt = cursor.next()
+                if nxt is None:
+                    break
+                got.append(nxt)
+            want = euclidean_knn_brute_force(g, live, q, 5)
+            assert [v for _, v in got] == [v for _, v in want]
+            assert np.allclose([d for d, _ in got], [d for d, _ in want])
+
+    def test_remove_absent_returns_false(self, road400):
+        g = road400
+        tree = RTree([g.x[0]], [g.y[0]], items=[0])
+        assert not tree.remove(float(g.x[1]), float(g.y[1]), 1)
+        assert tree.remove(float(g.x[0]), float(g.y[0]), 0)
+
+    def test_insert_into_empty_tree(self):
+        tree = RTree([], [], items=[])
+        tree.insert(1.0, 2.0, 42)
+        assert tree.nearest_cursor(0.0, 0.0).next()[1] == 42
+
+
+# ----------------------------------------------------------------------
+# Index repair vs pinned-partition rebuild
+# ----------------------------------------------------------------------
+class TestIndexRepair:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_gtree_repair_bitwise_equals_rebuild(self, kernel):
+        g = fresh_graph(seed=23)
+        gt = GTree(g, tau=32, seed=0, kernel=kernel)
+        rng = np.random.default_rng(5)
+        changed = g.apply_weight_deltas(random_weight_deltas(g, rng, 10))
+        counters = gt.apply_weight_deltas(changed)
+        assert counters["nodes_affected"] > 0
+        rebuilt = GTree(g, tau=32, seed=0, kernel=kernel,
+                        partition=gt.partition)
+        for a, b in zip(gt.nodes, rebuilt.nodes):
+            assert np.array_equal(a.matrix.m, b.matrix.m)
+        for s, t in [(0, 100), (5, 250), (77, 130)]:
+            assert gt.distance(s, t) == rebuilt.distance(s, t)
+
+    def test_road_repair_bitwise_equals_rebuild(self):
+        g = fresh_graph(seed=29)
+        rd = RoadIndex(g, levels=3, seed=0)
+        rng = np.random.default_rng(6)
+        changed = g.apply_weight_deltas(random_weight_deltas(g, rng, 10))
+        counters = rd.apply_weight_deltas(changed)
+        assert counters["rnets_affected"] > 0
+        rebuilt = RoadIndex(g, levels=3, seed=0, partition=rd.partition)
+        for a, b in zip(rd.rnets, rebuilt.rnets):
+            assert np.array_equal(a.shortcut_matrix, b.shortcut_matrix)
+
+    def test_ch_repair_exact_decrease_only(self):
+        g = fresh_graph(seed=31)
+        ch = ContractionHierarchy(g)
+        rng = np.random.default_rng(7)
+        # Coalesce: two generated deltas on one edge would otherwise make
+        # the second application an increase relative to the first.
+        changed = g.apply_weight_deltas(coalesce_weight_deltas(
+            random_weight_deltas(g, rng, 8, lo=0.4, hi=0.95)
+        ))
+        counters = ch.apply_weight_deltas(changed)
+        assert counters["full_recontraction"] == 0
+        assert counters["vertices_recontracted"] > 0
+        for s, t in [(0, 150), (20, 280), (99, 33), (7, 7)]:
+            assert ch.distance(s, t) == pytest.approx(
+                dijkstra_distance(g, s, t), rel=1e-12
+            )
+
+    def test_ch_repair_exact_with_increases(self):
+        g = fresh_graph(seed=37)
+        ch = ContractionHierarchy(g)
+        rng = np.random.default_rng(8)
+        changed = g.apply_weight_deltas(
+            random_weight_deltas(g, rng, 8, lo=0.8, hi=2.5)
+        )
+        assert any(new > old for _, _, old, new in changed)
+        counters = ch.apply_weight_deltas(changed)
+        assert counters["full_recontraction"] == 1
+        for s, t in [(0, 150), (20, 280), (99, 33)]:
+            assert ch.distance(s, t) == pytest.approx(
+                dijkstra_distance(g, s, t), rel=1e-12
+            )
+
+    def test_repair_unavailable_after_serialisation_loses_provenance(self):
+        g = fresh_graph(seed=41)
+        gt = GTree(g, tau=32, seed=0, kernel="array")
+        loaded = GTree.from_arrays(g, gt.to_arrays())
+        delta = [(0, int(g.edge_target[0]), 1.0, 2.0)]
+        with pytest.raises(RepairUnavailable):
+            loaded.apply_weight_deltas(delta)
+        ch = ContractionHierarchy(g)
+        arrays = ch.to_arrays()
+        for key in list(arrays):
+            if key.startswith("applied"):
+                del arrays[key]  # a pre-provenance artifact
+        loaded_ch = ContractionHierarchy.from_arrays(g, arrays)
+        with pytest.raises(RepairUnavailable):
+            loaded_ch.apply_weight_deltas(delta)
+        # With provenance intact the round-tripped CH repairs fine.
+        restored = ContractionHierarchy.from_arrays(g, ch.to_arrays())
+        changed = g.apply_weight_deltas([set_weight(
+            0, int(g.edge_target[0]), float(g.edge_weight[0]) * 0.5
+        )])
+        restored.apply_weight_deltas(changed)
+        assert restored.distance(0, 200) == pytest.approx(
+            dijkstra_distance(g, 0, 200), rel=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine-level metamorphic equivalence
+# ----------------------------------------------------------------------
+class TestEngineApplyUpdates:
+    METHODS = ("ine", "gtree", "road", "ier-gt")
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("stream_seed", (1, 2))
+    def test_incremental_equals_rebuild_byte_identical(
+        self, kernel, stream_seed
+    ):
+        g = fresh_graph(seed=43)
+        objects = uniform_objects(g, density=0.03, seed=5)
+        engine = QueryEngine(g, objects, kernel=kernel)
+        for method in self.METHODS:
+            engine.algorithm(method)  # warm pre-delta instances
+        gtree_partition = engine.workbench.gtree.partition
+        road_partition = engine.workbench.road.partition
+
+        rng = np.random.default_rng(stream_seed)
+        deltas = (
+            random_object_deltas(g, objects, rng, 8)
+            + random_weight_deltas(g, rng, 8)
+        )
+        report = engine.apply_updates(deltas)
+        assert report.weights_changed > 0
+        assert "gtree" in report.repaired and "road" in report.repaired
+
+        gt2 = GTree(g, seed=0, kernel=kernel, partition=gtree_partition)
+        rd2 = RoadIndex(g, seed=0, partition=road_partition)
+        final = engine.objects
+        rebuilt = {
+            "ine": INE(g, final, kernel=kernel),
+            "gtree": GTreeKNN(gt2, final, kernel=kernel),
+            "road": RoadKNN(rd2, final),
+            "ier-gt": IER(g, final, GTreeOracle(gt2)),
+        }
+        queries = rng.integers(0, g.num_vertices, size=12).tolist()
+        for method in self.METHODS:
+            for q in queries:
+                inc = [
+                    (n.distance, n.vertex)
+                    for n in engine.query(q, 5, method=method).neighbors
+                ]
+                ref = [(float(d), int(v)) for d, v in rebuilt[method].knn(q, 5)]
+                assert inc == ref, (method, q)
+
+    def test_object_report_counts_and_set_evolution(self):
+        g = fresh_graph(seed=47)
+        objects = sorted(uniform_objects(g, density=0.03, seed=5))
+        engine = QueryEngine(g, objects, kernel="array")
+        free = sorted(set(range(g.num_vertices)) - set(objects))
+        report = engine.apply_updates([
+            add_object(free[0]),
+            remove_object(objects[0]),
+            move_object(objects[1], free[1]),
+        ])
+        assert report.objects_added == 2
+        assert report.objects_removed == 2
+        assert report.weights_changed == 0
+        assert free[0] in engine.objects and free[1] in engine.objects
+        assert objects[0] not in engine.objects
+
+    def test_unpatchable_instance_is_dropped_and_rebuilt(self):
+        g = fresh_graph(seed=53)
+        objects = sorted(uniform_objects(g, density=0.03, seed=5))
+        engine = QueryEngine(g, objects, kernel="array")
+        engine.algorithm("ine")
+        # Plant an instance whose object index cannot be patched.
+        stubborn = KNNAlgorithm()
+        engine._algorithms[("stubborn", ())] = stubborn
+        free = sorted(set(range(g.num_vertices)) - set(objects))
+        report = engine.apply_updates([add_object(free[0])])
+        assert "stubborn-instance" in report.dropped
+        assert ("stubborn", ()) not in engine._algorithms
+        # The patchable instance survived and answers for the new set.
+        truth = ine_knn(g, engine.objects, free[0], 3)
+        got = [
+            (n.distance, n.vertex)
+            for n in engine.query(free[0], 3, method="ine").neighbors
+        ]
+        assert got == [(float(d), int(v)) for d, v in truth]
+
+    def test_empty_delta_stream_is_a_cheap_no_op(self):
+        g = fresh_graph(seed=59)
+        engine = QueryEngine(g, [1, 2, 3], kernel="array")
+        report = engine.apply_updates([])
+        assert report.to_dict()["weights_changed"] == 0
+        assert report.repaired == {} and report.dropped == []
+
+
+# ----------------------------------------------------------------------
+# Server: cache-invalidation rules and the writer/reader race
+# ----------------------------------------------------------------------
+class TestServerUpdates:
+    def _server(self, g, objects, **kwargs):
+        from repro.server import KNNServer
+
+        engine = QueryEngine(g, objects, kernel="array")
+        kwargs.setdefault("workers", 2)
+        return KNNServer(engine, **kwargs)
+
+    def test_weight_update_invalidates_whole_cache(self):
+        g = fresh_graph(seed=61)
+        objects = sorted(uniform_objects(g, density=0.03, seed=5))
+        with self._server(g, objects) as server:
+            server.query(10, 4, "ine")
+            assert server.query(10, 4, "ine").cache_hit
+            u = 0
+            v = int(g.edge_target[0])
+            server.apply_updates([
+                set_weight(u, v, float(g.edge_weight[0]) * 2.0)
+            ])
+            assert server.cache.stats()["size"] == 0
+            response = server.query(10, 4, "ine")
+            assert not response.cache_hit
+            truth = ine_knn(g, objects, 10, 4)
+            got = [(n.distance, n.vertex) for n in response.result.neighbors]
+            assert got == [(float(d), int(v)) for d, v in truth]
+
+    def test_object_update_invalidates_only_its_category(self):
+        g = fresh_graph(seed=67)
+        objects = sorted(uniform_objects(g, density=0.03, seed=5))
+        other = sorted(uniform_objects(g, density=0.02, seed=9))
+        with self._server(g, objects, categories={"fuel": other}) as server:
+            server.query(10, 4, "ine")
+            server.query(10, 4, "ine", category="fuel")
+            free = sorted(set(range(g.num_vertices)) - set(objects))
+            report = server.apply_updates([add_object(free[0])])
+            assert report.objects_added == 1
+            # fuel's entry survived the default category's invalidation
+            assert server.query(10, 4, "ine", category="fuel").cache_hit
+            response = server.query(10, 4, "ine")
+            assert not response.cache_hit
+            truth = ine_knn(g, objects + [free[0]], 10, 4)
+            got = [(n.distance, n.vertex) for n in response.result.neighbors]
+            assert got == [(float(d), int(v)) for d, v in truth]
+
+    def test_readers_racing_writer_never_see_torn_state(self):
+        """The concurrency regression: cached answers racing live updates.
+
+        A writer thread alternates weight-delta batches (W1 <-> W2) and
+        ``with_objects`` swaps (A <-> B) while reader threads hammer a
+        small query pool through the result cache.  Every OK answer must
+        be byte-identical to one of the four (object set, weight state)
+        ground truths — a half-repaired index or a stale cache entry
+        surviving its invalidation would produce an answer outside that
+        set.  After the writer quiesces, answers must match the final
+        state exactly.
+        """
+        n, seed = 250, 71
+        g = fresh_graph(n, seed=seed)
+        shadow = fresh_graph(n, seed=seed)  # identical; never served
+        objects_a = sorted(uniform_objects(g, density=0.04, seed=5))
+        objects_b = sorted(objects_a[: len(objects_a) // 2]
+                           + [v for v in range(0, n, 11)
+                              if v not in objects_a])
+        rng = np.random.default_rng(9)
+        w2 = coalesce_weight_deltas(random_weight_deltas(shadow, rng, 6))
+        w1 = [  # restores the original weights (absolute semantics)
+            set_weight(d.u, d.v, float(
+                shadow.edge_weight[
+                    int(shadow.vertex_start[d.u])
+                    + shadow.edge_target[
+                        shadow.vertex_start[d.u]:shadow.vertex_start[d.u + 1]
+                    ].tolist().index(d.v)
+                ]
+            ))
+            for d in w2
+        ]
+        pool = [3, 47, 101, 166, 222]
+        k = 4
+        truths = {}
+        for wname, batch in (("w1", w1), ("w2", w2)):
+            shadow.apply_weight_deltas(batch)
+            for oname, objs in (("a", objects_a), ("b", objects_b)):
+                for q in pool:
+                    truths[(q, oname, wname)] = [
+                        (float(d), int(v))
+                        for d, v in ine_knn(shadow, objs, q, k)
+                    ]
+        shadow.apply_weight_deltas(w1)  # leave shadow at w1 (hygiene)
+
+        with self._server(g, objects_a, workers=3) as server:
+            stop = threading.Event()
+            observed = []
+            observed_lock = threading.Lock()
+
+            def reader():
+                i = 0
+                while not stop.is_set():
+                    q = pool[i % len(pool)]
+                    i += 1
+                    response = server.query(q, k, "ine", timeout=10.0)
+                    if response.ok:
+                        got = [
+                            (n.distance, n.vertex)
+                            for n in response.result.neighbors
+                        ]
+                        with observed_lock:
+                            observed.append((q, got))
+
+            readers = [threading.Thread(target=reader) for _ in range(3)]
+            for t in readers:
+                t.start()
+            for round_ in range(6):
+                server.apply_updates(w2 if round_ % 2 == 0 else w1)
+                server.with_objects(
+                    objects_b if round_ % 2 == 0 else objects_a
+                )
+            # final state: weights w1, objects a
+            server.apply_updates(w1)
+            server.with_objects(objects_a)
+            stop.set()
+            for t in readers:
+                t.join()
+
+            assert observed, "readers never completed a query"
+            for q, got in observed:
+                valid = [
+                    truths[(q, oname, wname)]
+                    for oname in ("a", "b")
+                    for wname in ("w1", "w2")
+                ]
+                assert got in valid, (q, got)
+            for q in pool:
+                response = server.query(q, k, "ine")
+                got = [
+                    (n.distance, n.vertex)
+                    for n in response.result.neighbors
+                ]
+                assert got == truths[(q, "a", "w1")], q
+
+
+# ----------------------------------------------------------------------
+# Mixed read/write workload and driver
+# ----------------------------------------------------------------------
+class TestMixedWorkload:
+    def test_generator_deterministic_and_valid(self, road400, objects400):
+        from repro.server import mixed_update_workload
+
+        g, objects = road400, list(objects400)
+        a = mixed_update_workload(g, 100, 4, objects, updates=5, seed=13)
+        b = mixed_update_workload(g, 100, 4, objects, updates=5, seed=13)
+        assert a == b
+        reads, updates = a
+        assert len(reads) == 100
+        assert all(0 <= item.vertex < g.num_vertices for item in reads)
+        marks = [u.after_reads for u in updates]
+        assert marks == sorted(marks) and marks[0] > 0
+        assert all(u.kind in ("objects", "weights", "mixed") for u in updates)
+        # The object-delta stream is valid when applied in order.
+        present = set(int(o) for o in objects)
+        for u in updates:
+            for delta in u.deltas:
+                if isinstance(delta, ObjectDelta):
+                    if delta.kind == "add":
+                        assert delta.vertex not in present
+                        present.add(delta.vertex)
+                    else:
+                        assert delta.vertex in present
+                        present.discard(delta.vertex)
+
+    def test_update_item_is_frozen(self):
+        import dataclasses
+
+        from repro.server import UpdateItem
+
+        item = UpdateItem(kind="objects", deltas=(add_object(1),))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            item.kind = "weights"
+
+    def test_mixed_driver_applies_all_updates(self):
+        from repro.server import (
+            KNNServer,
+            mixed_update_workload,
+            run_mixed_closed_loop,
+        )
+
+        g = fresh_graph(seed=73)
+        objects = sorted(uniform_objects(g, density=0.03, seed=5))
+        engine = QueryEngine(g, objects, kernel="array")
+        reads, updates = mixed_update_workload(
+            g, 120, 4, objects, updates=4, seed=21
+        )
+        assert updates
+        with KNNServer(engine, workers=2) as server:
+            report, stats = run_mixed_closed_loop(
+                server, reads, updates, concurrency=3, timeout_s=10.0
+            )
+            assert report.completed == len(reads)
+            assert stats["updates_applied"] == len(updates)
+            assert stats["apply_latency_ms"]["mean"] > 0.0
+            # Post-quiesce: the server answers for the final state.
+            final = server.engine_for(None).objects
+            truth = ine_knn(g, final, 5, 4)
+            got = [
+                (n.distance, n.vertex)
+                for n in server.query(5, 4, "ine").result.neighbors
+            ]
+            assert got == [(float(d), int(v)) for d, v in truth]
