@@ -24,7 +24,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -46,6 +45,8 @@ from repro.pathfinding.dijkstra import (  # noqa: E402
 )
 from repro.pathfinding.tnr import TransitNodeRouting  # noqa: E402
 from repro.utils.counters import Counters  # noqa: E402
+
+from report import write_report  # noqa: E402
 
 KERNELS = ("python", "array")
 
@@ -210,6 +211,7 @@ def main(argv=None) -> int:
     parser.add_argument("--json", default="BENCH_kernels.json",
                         help="report path ('' disables)")
     args = parser.parse_args(argv)
+    run_started = time.time()
     if args.quick:
         args.vertices = min(args.vertices, 2000)
         args.tnr_vertices = min(args.tnr_vertices, 1000)
@@ -267,8 +269,7 @@ def main(argv=None) -> int:
         "failures": failures,
     }
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
+        write_report(args.json, report, run_started)
         print(f"  report written to {args.json}")
     if failures:
         for line in failures:

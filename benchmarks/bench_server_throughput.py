@@ -25,6 +25,7 @@ from repro.server import (
 from repro.utils.counters import BUILD_COUNTERS
 
 from _bench_utils import run_once
+from report import write_report
 
 REQUESTS = 600
 K = 5
@@ -36,6 +37,9 @@ def _engine(nw):
 
 
 def test_server_hotspot_throughput(benchmark, nw):
+    import time
+
+    run_started = time.time()
     engine = _engine(nw)
     items = hotspot_workload(
         nw.graph, REQUESTS, K, hot_vertices=64, skew=1.2, seed=3
@@ -59,6 +63,17 @@ def test_server_hotspot_throughput(benchmark, nw):
         f"{report.throughput_qps:8.0f} qps ({report.throughput_qps / baseline_qps:.1f}x) | "
         f"p50 {report.latency_p50_ms:.2f}ms p99 {report.latency_p99_ms:.2f}ms | "
         f"cache hit rate {report.server_stats['cache']['hit_rate']:.0%}"
+    )
+    write_report(
+        "BENCH_server_throughput.json",
+        {
+            "bench": "server_throughput",
+            "requests": REQUESTS,
+            "k": K,
+            "baseline_qps": baseline_qps,
+            "hotspot": report.to_dict(),
+        },
+        run_started,
     )
     assert sum(BUILD_COUNTERS.as_dict().values()) == builds_before
     assert report.completed == REQUESTS

@@ -33,7 +33,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -55,6 +54,8 @@ from repro.knn.ine import INE  # noqa: E402
 from repro.knn.road_knn import RoadKNN  # noqa: E402
 from repro.objects import uniform_objects  # noqa: E402
 from repro.updates import ObjectDelta, set_weight  # noqa: E402
+
+from report import write_report  # noqa: E402
 
 KERNELS = ("python", "array")
 #: Methods under the byte-identity gate (>= 3 required by the issue).
@@ -326,6 +327,7 @@ def main(argv=None) -> int:
     parser.add_argument("--json", default="BENCH_updates.json",
                         help="report path ('' disables)")
     args = parser.parse_args(argv)
+    run_started = time.time()
     if args.quick:
         args.eq_vertices = min(args.eq_vertices, 500)
         args.queries = min(args.queries, 12)
@@ -349,8 +351,7 @@ def main(argv=None) -> int:
         "failures": failures,
     }
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
+        write_report(args.json, report, run_started)
         print(f"  report written to {args.json}")
     if failures:
         for line in failures:

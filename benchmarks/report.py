@@ -1,0 +1,36 @@
+"""Shared envelope for the machine-readable ``BENCH_*.json`` reports.
+
+Every benchmark that emits a report stamps it with the same metadata —
+schema version, the run's start timestamp (passed in by the caller),
+host facts, the git revision — via :func:`repro.obs.runinfo.run_metadata`,
+so trajectory tooling can line reports up across machines and commits
+without per-benchmark parsing.  Use::
+
+    run_started = time.time()          # at the top of main()
+    ...
+    write_report(args.json, report, run_started)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.obs.runinfo import run_metadata
+
+
+def finalize_report(report: Dict[str, object], run_started: float) -> Dict[str, object]:
+    """A copy of ``report`` with the shared ``meta`` envelope attached."""
+    out = dict(report)
+    out["meta"] = run_metadata(run_started)
+    return out
+
+
+def write_report(
+    path: str, report: Dict[str, object], run_started: float
+) -> Dict[str, object]:
+    """Stamp ``report`` with the shared envelope and write it to ``path``."""
+    out = finalize_report(report, run_started)
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+    return out

@@ -368,10 +368,13 @@ def _engine_and_objects(args: argparse.Namespace):
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the concurrent server, answering queries read from stdin.
 
-    Protocol: one request per line, ``VERTEX K [METHOD]``; EOF stops the
-    server and prints its statistics.  Index builds happen during
-    warmup, never while serving — point ``--store`` at a prebuilt store
-    and warmup is a millisecond disk load.
+    Protocol: one request per line, ``VERTEX K [METHOD]``; the command
+    lines ``stats`` (JSON statistics; ``stats flush`` also closes the
+    since-flush window) and ``metrics`` (Prometheus text) report on the
+    running server; EOF stops it and prints its statistics.  Index
+    builds happen during warmup, never while serving — point
+    ``--store`` at a prebuilt store and warmup is a millisecond disk
+    load.
     """
     from repro.server import KNNServer
 
@@ -392,12 +395,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     builds_before = sum(BUILD_COUNTERS.as_dict().values())
     print(
         f"{graph}, |O|={len(objects)}, {args.workers} workers; "
-        "reading 'VERTEX K [METHOD]' lines from stdin"
+        "reading 'VERTEX K [METHOD]' lines from stdin "
+        "('stats' / 'metrics' report on the running server)"
     )
     try:
         for line in sys.stdin:
             parts = line.split()
             if not parts:
+                continue
+            command = parts[0].lower()
+            if command == "stats":
+                snapshot = (
+                    server.flush_stats()
+                    if len(parts) > 1 and parts[1] == "flush"
+                    else server.stats()
+                )
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+                continue
+            if command == "metrics":
+                print(server.metrics_text())
                 continue
             try:
                 vertex = int(parts[0])
@@ -430,31 +446,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_loadtest(args: argparse.Namespace) -> int:
-    """Drive the server with a synthetic workload and report the numbers.
-
-    Prints throughput and p50/p95/p99 latency, compares against the
-    single-threaded sequential baseline (``engine.query`` on the same
-    workload), verifies server answers against the baseline's, and
-    writes the machine-readable report to ``--json`` (default
-    ``BENCH_server.json``) for trajectory tracking.
-    """
+def _build_workload(args: argparse.Namespace, graph):
+    """The (requests, categories) pair for ``--workload`` — shared by
+    ``loadtest`` and ``profile`` so both drive identical traffic."""
     from repro.server import (
-        KNNServer,
         category_switching_workload,
         diurnal_workload,
         hotspot_workload,
-        run_closed_loop,
-        run_open_loop,
-        sequential_baseline,
         uniform_workload,
     )
 
-    error = _validate_methods([args.method])
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    graph, objects, engine = _engine_and_objects(args)
     categories: Optional[Dict[str, Sequence[int]]] = None
     if args.workload == "categories":
         categories = {
@@ -483,6 +484,31 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             graph, args.requests, args.k, hot_vertices=args.hot_vertices,
             skew=args.skew, method=args.method, seed=args.seed,
         )
+    return items, categories
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive the server with a synthetic workload and report the numbers.
+
+    Prints throughput and p50/p95/p99 latency, compares against the
+    single-threaded sequential baseline (``engine.query`` on the same
+    workload), verifies server answers against the baseline's, and
+    writes the machine-readable report to ``--json`` (default
+    ``BENCH_server.json``) for trajectory tracking.
+    """
+    from repro.server import (
+        KNNServer,
+        run_closed_loop,
+        run_open_loop,
+        sequential_baseline,
+    )
+
+    error = _validate_methods([args.method])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    graph, objects, engine = _engine_and_objects(args)
+    items, categories = _build_workload(args, graph)
     server = KNNServer(
         engine,
         workers=args.workers,
@@ -549,6 +575,148 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"  !! {mismatches} responses disagree with baseline",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one query and pretty-print its span tree.
+
+    Runs the query twice: once cold (indexes/algorithms may build — the
+    ``ensure`` span shows what that costs) and once warm, printing both
+    trees so the preprocessing/query split is visible in one command.
+    """
+    from repro.obs import TRACER, tracing
+
+    error = _validate_methods([args.method])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    graph, objects, engine = _engine_and_objects(args)
+    query = args.query if args.query is not None else graph.num_vertices // 2
+    print(f"{graph}, |O|={len(objects)}, query={query}, k={args.k}")
+    trees = []
+    with tracing(clear=True):
+        for label in ("cold", "warm"):
+            engine.query(query, args.k, method=args.method)
+            tree = TRACER.recent(1)[0]
+            trees.append({"run": label, "trace": tree.to_dict()})
+            print(f"-- {label} --")
+            print(tree.pretty())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(trees, fh, indent=2, sort_keys=True)
+        print(f"trace written to {args.json}")
+    return 0
+
+
+def _tree_has(span, name: str) -> bool:
+    """True when ``span`` or any descendant carries ``name``."""
+    if span.name == name:
+        return True
+    return any(_tree_has(child, name) for child in span.children)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a served workload: metrics report + top-k slow queries.
+
+    Drives the concurrent server with the same synthetic workloads as
+    ``loadtest`` — but with tracing on and a zero slow-query threshold,
+    so every query lands in the slow log with its counters and span
+    tree.  Writes a machine-readable report (default ``PROFILE.json``)
+    holding the windowed metrics snapshot (per-method latency
+    histograms with p50/p95/p99), server/cache statistics, the k
+    slowest queries and recent span trees.
+    """
+    from repro.obs import REGISTRY, TRACER, run_metadata, tracing
+    from repro.server import KNNServer, run_closed_loop
+
+    error = _validate_methods([args.method])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    run_started = time.time()
+    graph, objects, engine = _engine_and_objects(args)
+    items, categories = _build_workload(args, graph)
+    server = KNNServer(
+        engine,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_capacity,
+        categories=categories,
+        default_deadline_s=args.deadline,
+    )
+    print(f"{graph}, |O|={len(objects)}, workload={args.workload}, "
+          f"{args.requests} requests, k={args.k}")
+    before = REGISTRY.snapshot()
+    with tracing(slow_threshold_s=args.slow_threshold, clear=True):
+        server.start(warmup_methods=[args.method])
+        report = run_closed_loop(server, items, concurrency=args.concurrency)
+        stats = server.stats()
+        server.stop()
+        top_slow = TRACER.top_slow(args.top)
+        # Prefer complete trees (ones that reached the knn kernel) —
+        # cache hits produce childless serve_group spans.
+        ring = TRACER.recent()
+        complete = [s for s in ring if _tree_has(s, "knn")]
+        picked = complete[-args.traces :]
+        if len(picked) < args.traces:
+            rest = [s for s in ring if not _tree_has(s, "knn")]
+            picked = rest[len(picked) - args.traces :] + picked
+        traces = [s.to_dict() for s in picked]
+    metrics = REGISTRY.delta(before)
+    per_method: Dict[str, Dict[str, object]] = {}
+    for label, series in metrics.get("knn_query_seconds", {}).get(
+        "series", {}
+    ).items():
+        method = label.split("=", 1)[1] if "=" in label else label
+        per_method[method] = {
+            "count": series["count"],
+            "mean_ms": series["mean"] * 1e3,
+            "p50_ms": series["p50"] * 1e3,
+            "p95_ms": series["p95"] * 1e3,
+            "p99_ms": series["p99"] * 1e3,
+            "max_ms": series["max"] * 1e3,
+        }
+    payload = {
+        "meta": run_metadata(run_started),
+        "workload": {
+            "kind": args.workload,
+            "requests": args.requests,
+            "k": args.k,
+            "method": args.method,
+            "workers": args.workers,
+            "concurrency": args.concurrency,
+        },
+        "throughput_qps": report.throughput_qps,
+        "per_method": per_method,
+        "server": stats,
+        "metrics": metrics,
+        "top_slow": top_slow,
+        "traces": traces,
+    }
+    print(f"  throughput {report.throughput_qps:8.0f} qps")
+    print(f"  {'method':10} {'count':>7} {'p50':>9} {'p95':>9} {'p99':>9}")
+    for method, row in sorted(per_method.items()):
+        print(
+            f"  {method:10} {row['count']:>7.0f} {row['p50_ms']:>7.2f}ms "
+            f"{row['p95_ms']:>7.2f}ms {row['p99_ms']:>7.2f}ms"
+        )
+    cache = stats["cache"]
+    print(
+        f"  cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_rate']:.0%})"
+    )
+    if top_slow:
+        worst = top_slow[0]
+        print(
+            f"  slowest query: {worst['time_ms']:.2f}ms "
+            f"method={worst['method']} vertex={worst['vertex']} k={worst['k']}"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  profile written to {args.json}")
     return 0
 
 
@@ -683,6 +851,49 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--json", default="BENCH_server.json",
                     help="machine-readable report path ('' disables)")
     lt.set_defaults(func=cmd_loadtest)
+
+    tr = sub.add_parser(
+        "trace", help="trace one query and pretty-print its span tree"
+    )
+    common(tr)
+    tr.add_argument("--density", type=float, default=0.01)
+    tr.add_argument("--k", type=int, default=5)
+    tr.add_argument("--query", type=int,
+                    help="query vertex (default: centre id)")
+    tr.add_argument("--method", default="auto",
+                    help="method to trace ('auto' lets the engine pick)")
+    tr.add_argument("--store", help="index store directory to warm-start from")
+    tr.add_argument("--json", default="",
+                    help="also write the span trees as JSON ('' disables)")
+    tr.set_defaults(func=cmd_trace)
+
+    pf = sub.add_parser(
+        "profile",
+        help="profile a served workload: metrics report + slow queries",
+    )
+    common(pf)
+    serving_knobs(pf)
+    pf.add_argument("--workload", default="hotspot",
+                    choices=("uniform", "hotspot", "diurnal", "categories"))
+    pf.add_argument("--requests", type=int, default=300)
+    pf.add_argument("--concurrency", type=int, default=16,
+                    help="closed-loop client count")
+    pf.add_argument("--hot-vertices", type=int, default=64,
+                    help="hotspot/diurnal: size of the Zipf hot set")
+    pf.add_argument("--skew", type=float, default=1.1,
+                    help="hotspot/diurnal: Zipf skew exponent")
+    pf.add_argument("--switch-every", type=int, default=10,
+                    help="categories: requests between category hops")
+    pf.add_argument("--slow-threshold", type=float, default=0.0,
+                    help="slow-query log threshold in seconds (default 0: "
+                         "log every query)")
+    pf.add_argument("--top", type=int, default=10,
+                    help="slow queries to keep in the report")
+    pf.add_argument("--traces", type=int, default=3,
+                    help="recent span trees to keep in the report")
+    pf.add_argument("--json", default="PROFILE.json",
+                    help="machine-readable report path ('' disables)")
+    pf.set_defaults(func=cmd_profile)
 
     m = sub.add_parser("methods", help="list registered kNN methods")
     common(m, default_vertices=0)

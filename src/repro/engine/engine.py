@@ -21,6 +21,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.engine.planner import plan_method
 from repro.engine.query import (
     KNNQuery,
@@ -34,6 +35,7 @@ from repro.engine.workbench import IndexCache
 from repro.graph.graph import Graph
 from repro.knn.base import KNNAlgorithm
 from repro.knn.paths import shortest_paths_to
+from repro.obs.tracing import span as _span
 from repro.utils.counters import Counters
 
 
@@ -230,35 +232,59 @@ class QueryEngine:
         )
 
         start = time.perf_counter()
-        obj_deltas, weight_deltas = split_deltas(deltas)
-        report = UpdateReport()
-        if weight_deltas:
-            changed, repaired, dropped = self.workbench.apply_weight_deltas(
-                weight_deltas
-            )
-            report.weight_changes.extend(changed)
-            for name, counters in repaired.items():
-                report.merge_repair(name, counters)
-            report.dropped.extend(dropped)
-            if changed:
-                self.invalidate_algorithms()
-        if obj_deltas:
-            added, removed = net_object_changes(obj_deltas, self.objects)
-            report.objects_added = len(added)
-            report.objects_removed = len(removed)
-            if added or removed:
-                removed_set = set(removed)
-                self.objects = [
-                    o for o in self.objects if o not in removed_set
-                ] + added
-                with self._algorithms_lock:
-                    for key, alg in list(self._algorithms.items()):
-                        try:
-                            alg.update_objects(added, removed)
-                        except NotImplementedError:
-                            del self._algorithms[key]
-                            report.dropped.append(f"{key[0]}-instance")
+        with _span("apply_updates", deltas=len(deltas)):
+            obj_deltas, weight_deltas = split_deltas(deltas)
+            report = UpdateReport()
+            if weight_deltas:
+                with _span("weight_deltas", n=len(weight_deltas)):
+                    changed, repaired, dropped = (
+                        self.workbench.apply_weight_deltas(weight_deltas)
+                    )
+                report.weight_changes.extend(changed)
+                for name, counters in repaired.items():
+                    report.merge_repair(name, counters)
+                report.dropped.extend(dropped)
+                if changed:
+                    self.invalidate_algorithms()
+            if obj_deltas:
+                with _span("object_deltas", n=len(obj_deltas)):
+                    added, removed = net_object_changes(
+                        obj_deltas, self.objects
+                    )
+                    report.objects_added = len(added)
+                    report.objects_removed = len(removed)
+                    if added or removed:
+                        removed_set = set(removed)
+                        self.objects = [
+                            o for o in self.objects if o not in removed_set
+                        ] + added
+                        with self._algorithms_lock:
+                            for key, alg in list(self._algorithms.items()):
+                                try:
+                                    alg.update_objects(added, removed)
+                                except NotImplementedError:
+                                    del self._algorithms[key]
+                                    report.dropped.append(
+                                        f"{key[0]}-instance"
+                                    )
         report.elapsed_s = time.perf_counter() - start
+        reg = obs.REGISTRY
+        if reg.enabled:
+            reg.histogram(
+                "update_apply_seconds", "engine apply_updates latency"
+            ).observe(report.elapsed_s)
+            reg.counter(
+                "update_weight_changes_total", "effective edge-weight changes"
+            ).inc(len(report.weight_changes))
+            reg.counter(
+                "update_objects_changed_total", "net POI adds + removes"
+            ).inc(report.objects_added + report.objects_removed)
+            for name in report.dropped:
+                reg.counter(
+                    "update_dropped_total",
+                    "indexes/instances dropped by an update",
+                    what=name,
+                ).inc()
         return report
 
     # ------------------------------------------------------------------
@@ -302,38 +328,54 @@ class QueryEngine:
         cap).
         """
         q = normalise_query(query, k, method, with_paths)
-        resolved = self.resolve_method(q.method, q.k)
         c = counters if counters is not None else Counters()
-        if not self.objects:
-            # An empty object set has an exact answer — no neighbors —
-            # and several algorithms cannot even be constructed over it
-            # (IER's R-tree needs at least one object), so short-circuit
-            # before any algorithm instance is built.
+        with _span("query", vertex=q.vertex, k=q.k) as qspan:
+            with _span("plan"):
+                resolved = self.resolve_method(q.method, q.k)
+            kernel = self.method_kernel(resolved)
+            qspan.annotate(method=resolved)
+            if not self.objects:
+                # An empty object set has an exact answer — no neighbors
+                # — and several algorithms cannot even be constructed
+                # over it (IER's R-tree needs at least one object), so
+                # short-circuit before any algorithm instance is built.
+                obs.record_query(
+                    resolved, 0.0, c, kernel=kernel,
+                    vertex=q.vertex, k=q.k, trace=qspan,
+                )
+                return KNNResult(
+                    query=q, method=resolved, neighbors=(), counters=c,
+                    time_s=0.0, kernel=kernel,
+                )
+            with _span("ensure", method=resolved):
+                alg = self.algorithm(resolved)
+            with _span("knn", method=resolved) as kspan:
+                start = time.perf_counter()
+                raw = alg.knn(q.vertex, q.k, counters=c)
+                elapsed = time.perf_counter() - start
+                kspan.annotate(**c.as_dict())
+            paths: Dict[int, tuple] = {}
+            if q.with_paths:
+                with _span("paths", n=len(raw)):
+                    paths = shortest_paths_to(
+                        self.graph, q.vertex, [v for _, v in raw]
+                    )
+            neighbors = tuple(
+                Neighbor(
+                    float(d),
+                    int(v),
+                    path=tuple(paths[int(v)][1]) if int(v) in paths else None,
+                )
+                for d, v in raw
+            )
+            obs.record_query(
+                resolved, elapsed, c, kernel=kernel,
+                vertex=q.vertex, k=q.k, trace=qspan,
+            )
             return KNNResult(
-                query=q, method=resolved, neighbors=(), counters=c,
-                time_s=0.0, kernel=self.method_kernel(resolved),
+                query=q, method=resolved, neighbors=neighbors, counters=c,
+                time_s=elapsed, kernel=kernel,
             )
-        alg = self.algorithm(resolved)
-        start = time.perf_counter()
-        raw = alg.knn(q.vertex, q.k, counters=c)
-        elapsed = time.perf_counter() - start
-        paths: Dict[int, tuple] = {}
-        if q.with_paths:
-            paths = shortest_paths_to(
-                self.graph, q.vertex, [v for _, v in raw]
-            )
-        neighbors = tuple(
-            Neighbor(
-                float(d),
-                int(v),
-                path=tuple(paths[int(v)][1]) if int(v) in paths else None,
-            )
-            for d, v in raw
-        )
-        return KNNResult(
-            query=q, method=resolved, neighbors=neighbors, counters=c,
-            time_s=elapsed, kernel=self.method_kernel(resolved),
-        )
 
     def batch(
         self,
@@ -366,14 +408,25 @@ class QueryEngine:
         normalized = as_queries(queries, k=k, method=method, with_paths=with_paths)
         computed: Dict[KNNQuery, KNNResult] = {}
         out: List[KNNResult] = []
-        for q in normalized:
-            result = computed.get(q)
-            if result is not None:
-                self.counters.add("batch_dedup_hits")
-            else:
-                result = self.query(q)
-                computed[q] = result
-            out.append(result)
+        with _span("batch", size=len(normalized)) as bspan:
+            for q in normalized:
+                result = computed.get(q)
+                if result is not None:
+                    self.counters.add("batch_dedup_hits")
+                else:
+                    result = self.query(q)
+                    computed[q] = result
+                out.append(result)
+            bspan.annotate(unique=len(computed))
+        reg = obs.REGISTRY
+        if reg.enabled and normalized:
+            reg.histogram(
+                "engine_batch_size", "queries per engine batch"
+            ).observe(len(normalized))
+            reg.counter(
+                "engine_batch_dedup_hits_total",
+                "batch entries answered by reusing an identical query",
+            ).inc(len(normalized) - len(computed))
         return out
 
     def explain(

@@ -20,11 +20,14 @@ experiment harness and back-compat imports.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.engine import registry
+from repro.obs.tracing import span as _span
 from repro.graph.graph import Graph
 from repro.index.gtree import GTree
 from repro.index.road import RoadIndex
@@ -142,17 +145,48 @@ class IndexCache:
         repair instructions rather than being silently rebuilt over.
         """
         if self.store is None:
-            return build()
+            return self._timed_build(kind, build)
         from repro.store import ArtifactMissing, load_index, save_index
 
         try:
-            return load_index(
-                self.store, kind, self.graph, params=params, deps=deps
-            )
-        except ArtifactMissing:
-            index = build()
-            save_index(self.store, kind, self.graph, index, params=params)
+            with _span("index_load", kind=kind):
+                index = load_index(
+                    self.store, kind, self.graph, params=params, deps=deps
+                )
+            self._note_obtained(kind, "loaded")
             return index
+        except ArtifactMissing:
+            index = self._timed_build(kind, build)
+            with _span("index_save", kind=kind):
+                save_index(
+                    self.store, kind, self.graph, index, params=params
+                )
+            return index
+
+    def _timed_build(self, kind: str, build: Callable[[], object]):
+        """Run ``build()`` under a span, recording its wall time."""
+        with _span("index_build", kind=kind):
+            start = time.perf_counter()
+            index = build()
+            elapsed = time.perf_counter() - start
+        reg = obs.REGISTRY
+        if reg.enabled:
+            reg.histogram(
+                "index_build_seconds", "index construction time", kind=kind
+            ).observe(elapsed)
+        self._note_obtained(kind, "built")
+        return index
+
+    @staticmethod
+    def _note_obtained(kind: str, source: str) -> None:
+        reg = obs.REGISTRY
+        if reg.enabled:
+            reg.counter(
+                "index_obtained_total",
+                "indexes obtained, by kind and source (built/loaded)",
+                kind=kind,
+                source=source,
+            ).inc()
 
     # ------------------------------------------------------------------
     @property
@@ -295,6 +329,7 @@ class IndexCache:
         dropped: List[str] = []
         if not changed:
             return changed, repaired, dropped
+        reg = obs.REGISTRY
         for kind in ("gtree", "road", "ch"):
             slot = "_" + kind
             with self._build_lock(kind):
@@ -302,7 +337,16 @@ class IndexCache:
                 if index is None:
                     continue
                 try:
-                    repaired[kind] = index.apply_weight_deltas(changed)
+                    with _span("index_repair", kind=kind):
+                        start = time.perf_counter()
+                        repaired[kind] = index.apply_weight_deltas(changed)
+                        elapsed = time.perf_counter() - start
+                    if reg.enabled:
+                        reg.histogram(
+                            "index_repair_seconds",
+                            "in-place index repair time",
+                            kind=kind,
+                        ).observe(elapsed)
                 except RepairUnavailable:
                     setattr(self, slot, None)
                     dropped.append(kind)
@@ -312,6 +356,13 @@ class IndexCache:
                 if getattr(self, slot) is not None:
                     setattr(self, slot, None)
                     dropped.append(kind)
+        if reg.enabled:
+            for kind in dropped:
+                reg.counter(
+                    "index_dropped_total",
+                    "built indexes dropped by weight updates",
+                    kind=kind,
+                ).inc()
         return changed, repaired, dropped
 
     # ------------------------------------------------------------------
@@ -329,11 +380,12 @@ class IndexCache:
         from repro.store import expand_kinds
 
         obtained: List[str] = []
-        for kind in expand_kinds(kinds):
-            if kind == "silc" and not self.silc_available:
-                continue
-            getattr(self, kind)
-            obtained.append(kind)
+        with _span("prebuild", kinds=",".join(kinds)):
+            for kind in expand_kinds(kinds):
+                if kind == "silc" and not self.silc_available:
+                    continue
+                getattr(self, kind)
+                obtained.append(kind)
         return obtained
 
     # ------------------------------------------------------------------

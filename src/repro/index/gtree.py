@@ -1019,7 +1019,7 @@ class GTree:
             d_prev = self.distances_to_node_borders(
                 source, prev_id, cache, counters
             )
-            counters.add("gtree_matrix_ops", len(d_prev) * len(node.own_border_pos))
+            counters.add("matrix_ops", len(d_prev) * len(node.own_border_pos))
             result = node.matrix.minplus(
                 d_prev, prev.pos_in_parent, node.own_border_pos
             )
@@ -1041,7 +1041,7 @@ class GTree:
                     source, parent.id, cache, counters
                 )
                 rows = parent.own_border_pos
-            counters.add("gtree_matrix_ops", len(d_prev) * len(node.pos_in_parent))
+            counters.add("matrix_ops", len(d_prev) * len(node.pos_in_parent))
             result = parent.matrix.minplus(d_prev, rows, node.pos_in_parent)
         cache[node_id] = result
         return result
@@ -1148,7 +1148,7 @@ class GTree:
         )
         leaf = self.nodes[target_leaf]
         col = leaf.vertex_pos[int(target)]
-        counters.add("gtree_matrix_ops", len(d_borders))
+        counters.add("matrix_ops", len(d_borders))
         if hasattr(leaf.matrix, "m"):
             return float((d_borders + leaf.matrix.m[:, col]).min())
         best = INF

@@ -91,9 +91,9 @@ def p2p_distance(
     dist = _expand(graph, source, seed, lambda d: np.isfinite(d[target]))
     d = float(dist[target])
     if np.isfinite(d):
-        counters.add("dijkstra_settled", int(np.count_nonzero(dist <= d)))
+        counters.add("sssp_settled", int(np.count_nonzero(dist <= d)))
         return d
-    counters.add("dijkstra_settled", int(np.count_nonzero(np.isfinite(dist))))
+    counters.add("sssp_settled", int(np.count_nonzero(np.isfinite(dist))))
     return INF
 
 
@@ -105,7 +105,7 @@ def sssp_bounded(
 ) -> np.ndarray:
     """Full/bounded SSSP distance array plus settle accounting."""
     dist = sssp_distances(graph, source, limit=cutoff)
-    counters.add("dijkstra_settled", int(np.count_nonzero(np.isfinite(dist))))
+    counters.add("sssp_settled", int(np.count_nonzero(np.isfinite(dist))))
     return dist
 
 
@@ -133,10 +133,10 @@ def distances_to_targets(
     finite = np.isfinite(td)
     if finite.all():
         dmax = float(td.max())
-        counters.add("dijkstra_settled", int(np.count_nonzero(dist <= dmax)))
+        counters.add("sssp_settled", int(np.count_nonzero(dist <= dmax)))
     else:
         counters.add(
-            "dijkstra_settled", int(np.count_nonzero(np.isfinite(dist)))
+            "sssp_settled", int(np.count_nonzero(np.isfinite(dist)))
         )
     for t, d in zip(remaining, td):
         out[t] = float(d) if np.isfinite(d) else INF
@@ -149,7 +149,7 @@ def nearest_objects(
     query: int,
     k: int,
     counters: Counters = NULL_COUNTERS,
-    counter_name: str = "ine_settled",
+    counter_name: str = "expand_settled",
 ) -> list:
     """The k network-nearest of ``objects`` from ``query`` (INE kernel).
 

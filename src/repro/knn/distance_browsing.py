@@ -253,9 +253,9 @@ class DistanceBrowsing(KNNAlgorithm):
             tracker.offer(obj, 0.0)
             return
         lb, ub = self.silc.interval_from(query, obj)
-        counters.add("disbrw_interval_lookups")
+        counters.add("interval_lookups")
         if lb > tracker.dk:
-            counters.add("disbrw_insert_pruned")
+            counters.add("browse_insert_pruned")
             return
         tracker.offer(obj, ub)
         # State: (obj, vn, d_vn, prev, lb, ub)
@@ -286,9 +286,9 @@ class DistanceBrowsing(KNNAlgorithm):
                     queue.push(0.0, (obj, query, 0.0, -1, 0.0, 0.0))
                     tracker.offer(obj, 0.0)
                     continue
-                counters.add("disbrw_interval_lookups")
+                counters.add("interval_lookups")
                 if lb > tracker.dk:
-                    counters.add("disbrw_insert_pruned")
+                    counters.add("browse_insert_pruned")
                     continue
                 tracker.offer(obj, ub)
                 queue.push(lb, (obj, query, 0.0, -1, lb, ub))
@@ -320,7 +320,7 @@ class DistanceBrowsing(KNNAlgorithm):
             lb, state = queue.pop()
             obj, vn, d, prev, _, ub = state
             if lb > tracker.dk:
-                counters.add("disbrw_dropped")
+                counters.add("browse_dropped")
                 continue
             if vn == obj:  # walk complete: d is the exact distance
                 if d <= outside_lb():
@@ -331,7 +331,7 @@ class DistanceBrowsing(KNNAlgorithm):
             vn2, d2, prev2, lb2, ub2 = self.silc.refine(
                 vn, d, prev, obj, use_chains=self.use_chains
             )
-            counters.add("disbrw_refinements")
+            counters.add("browse_refinements")
             if ub2 < ub:
                 tracker.offer(obj, ub2)
             lb2 = max(lb2, lb)  # intervals only tighten
@@ -339,7 +339,7 @@ class DistanceBrowsing(KNNAlgorithm):
             if lb2 <= tracker.dk:
                 queue.push(lb2, (obj, vn2, d2, prev2, lb2, ub2))
             else:
-                counters.add("disbrw_dropped")
+                counters.add("browse_dropped")
 
     # ------------------------------------------------------------------
     # DB-ENN (Algorithm 2)
@@ -380,7 +380,7 @@ class DistanceBrowsing(KNNAlgorithm):
                 if nxt is None:
                     exhausted = True
                     break
-                counters.add("disbrw_enn_retrieved")
+                counters.add("browse_enn_retrieved")
                 self._push_candidate(queue, tracker, query, nxt[1], counters)
             if not queue:
                 if exhausted:
@@ -412,7 +412,7 @@ class DistanceBrowsing(KNNAlgorithm):
             if entry[0] == "b":
                 node: _ObjectHierarchy = entry[1]
                 if lb > tracker.dk:
-                    counters.add("disbrw_block_pruned")
+                    counters.add("browse_block_pruned")
                     continue
                 if node.is_leaf:
                     self._push_candidates(
@@ -423,14 +423,14 @@ class DistanceBrowsing(KNNAlgorithm):
                         clb, cub = silc.region_bounds(
                             query, child.idx_lo, child.idx_hi
                         )
-                        counters.add("disbrw_region_bounds")
+                        counters.add("browse_region_bounds")
                         tracker.offer_block(child.count, cub)
                         if clb <= tracker.dk:
                             queue.push(clb, ("b", child))
                 continue
             obj, vn, d, prev, _, ub = entry
             if lb > tracker.dk:
-                counters.add("disbrw_dropped")
+                counters.add("browse_dropped")
                 continue
             if vn == obj:
                 results.append((d, obj))
@@ -438,7 +438,7 @@ class DistanceBrowsing(KNNAlgorithm):
             vn2, d2, prev2, lb2, ub2 = self.silc.refine(
                 vn, d, prev, obj, use_chains=self.use_chains
             )
-            counters.add("disbrw_refinements")
+            counters.add("browse_refinements")
             if ub2 < ub:
                 tracker.offer(obj, ub2)
             lb2 = max(lb2, lb)
@@ -446,5 +446,5 @@ class DistanceBrowsing(KNNAlgorithm):
             if lb2 <= tracker.dk:
                 queue.push(lb2, (obj, vn2, d2, prev2, lb2, ub2))
             else:
-                counters.add("disbrw_dropped")
+                counters.add("browse_dropped")
         return self._finalise(results, k)

@@ -145,7 +145,7 @@ class GTreeKNN(KNNAlgorithm):
             if visited[u]:
                 continue
             visited[u] = True
-            counters.add("gtree_leaf_settled")
+            counters.add("leaf_settled")
             u_global = int(vertices[u])
             if u_global in leaf_objects:
                 targets_found += 1
@@ -199,7 +199,7 @@ class GTreeKNN(KNNAlgorithm):
             if visited[u]:
                 continue
             visited[u] = True
-            counters.add("gtree_leaf_settled")
+            counters.add("leaf_settled")
             u_global = int(vertices[u])
             if u_global in leaf_objects:
                 targets_found += 1
@@ -226,7 +226,7 @@ class GTreeKNN(KNNAlgorithm):
         if not leaf_objects:
             return
         sssp = gtree._same_leaf_sssp(query)
-        counters.add("gtree_leaf_settled", len(sssp))
+        counters.add("leaf_settled", len(sssp))
         for o in leaf_objects:
             queue.push(float(sssp[int(o)]), ("v", int(o)))
 

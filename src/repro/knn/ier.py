@@ -97,7 +97,7 @@ class IER(KNNAlgorithm):
                 # candidate; neither can any later one.  Terminate.
                 break
             d = self.oracle.distance(query, obj)
-            counters.add("ier_network_computations")
+            counters.add("verify_network_computations")
             if len(candidates) < k:
                 candidates.push(d, obj)
                 if len(candidates) == k:
@@ -106,9 +106,9 @@ class IER(KNNAlgorithm):
                 candidates.pop()
                 candidates.push(d, obj)
                 d_k = candidates.peek_key()
-                counters.add("ier_candidate_replacements")
+                counters.add("euclid_candidate_replacements")
             else:
-                counters.add("ier_false_hits")
+                counters.add("verify_false_hits")
         results: List[Tuple[float, int]] = []
         while candidates:
             d, obj = candidates.pop()

@@ -135,7 +135,7 @@ class INE(KNNAlgorithm):
                 continue
             settled[u] = 1
             if count:
-                counters.add("ine_settled")
+                counters.add("expand_settled")
             if is_object.get(u):
                 results.append((d, u))
                 if len(results) == k:
@@ -168,7 +168,7 @@ class INE(KNNAlgorithm):
                 continue
             settled.set(u)
             if count:
-                counters.add("ine_settled")
+                counters.add("expand_settled")
             if u in object_set:
                 results.append((d, u))
                 if len(results) == k:
@@ -197,7 +197,7 @@ class INE(KNNAlgorithm):
                 continue
             settled.add(u)
             if count:
-                counters.add("ine_settled")
+                counters.add("expand_settled")
             if u in object_set:
                 results.append((d, u))
                 if len(results) == k:
@@ -223,7 +223,7 @@ class INE(KNNAlgorithm):
             d, u = heap.pop()
             settled.add(u)
             if count:
-                counters.add("ine_settled")
+                counters.add("expand_settled")
             if u in object_set:
                 results.append((d, u))
                 if len(results) == k:

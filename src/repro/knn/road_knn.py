@@ -80,7 +80,7 @@ class RoadKNN(KNNAlgorithm):
                 continue
             visited[u] = 1
             if count:
-                counters.add("road_settled")
+                counters.add("expand_settled")
             if is_object(u):
                 results.append((d, u))
                 if len(results) == k:
@@ -94,7 +94,7 @@ class RoadKNN(KNNAlgorithm):
             if bypass >= 0:
                 node = rnets[bypass]
                 if count:
-                    counters.add("road_bypassed", node.interior_size)
+                    counters.add("expand_bypassed", node.interior_size)
                 row = shortcut_lists[bypass][node.border_pos[u]]
                 for b, w in row:
                     if skip_visited and visited[b]:

@@ -44,7 +44,7 @@ def astar_distance(
         if settled.get(u):
             continue
         settled.set(u)
-        counters.add("astar_settled")
+        counters.add("sssp_settled")
         if u == target:
             return float(g[u])
         du = g[u]

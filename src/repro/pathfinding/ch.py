@@ -321,7 +321,7 @@ class ContractionHierarchy:
             if u in settled:
                 continue
             settled.add(u)
-            counters.add("ch_settled")
+            counters.add("bidir_settled")
             if prune_at is not None and u in prune_at and u != source:
                 if collect_pruned is not None:
                     collect_pruned[u] = d

@@ -72,7 +72,7 @@ def dijkstra_distance(
             if settled[u] == gen:
                 continue
             settled[u] = gen
-            counters.add("dijkstra_settled")
+            counters.add("sssp_settled")
             if u == target:
                 return d
             for i in range(vertex_start[u], vertex_start[u + 1]):
@@ -155,7 +155,7 @@ def dijkstra_sssp(
             if d > cutoff:
                 break
             settled[u] = gen
-            counters.add("dijkstra_settled")
+            counters.add("sssp_settled")
             for i in range(vertex_start[u], vertex_start[u + 1]):
                 v = int(edge_target[i])
                 nd = d + edge_weight[i]
@@ -198,7 +198,7 @@ def dijkstra_to_targets(
             if settled[u] == gen:
                 continue
             settled[u] = gen
-            counters.add("dijkstra_settled")
+            counters.add("sssp_settled")
             if u in remaining:
                 out[u] = d
                 remaining.discard(u)

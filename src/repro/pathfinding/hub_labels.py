@@ -145,7 +145,7 @@ class HubLabels:
     ) -> float:
         if source == target:
             return 0.0
-        counters.add("hl_queries")
+        counters.add("label_scans")
         return self._query_merge(
             self._hubs[source],
             self._dists[source],

@@ -259,9 +259,9 @@ class TransitNodeRouting:
         if source == target:
             return 0.0
         best = self.table_distance(source, target)
-        counters.add("tnr_table_queries")
+        counters.add("table_lookups")
         if self.is_local(source, target):
-            counters.add("tnr_local_queries")
+            counters.add("local_searches")
         local = self.ch.distance_pruned(source, target, self.transit_set)
         if local < best:
             best = local

@@ -39,7 +39,9 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.engine.engine import QueryEngine
+from repro.obs.tracing import span as _span
 from repro.server.batching import BatchGroup, coalesce
 from repro.server.cache import ResultCache, objects_fingerprint, result_key
 from repro.server.request import (
@@ -184,6 +186,12 @@ class KNNServer:
         self._running = False
         self._stats = collections.Counter()
         self._batch_sizes: collections.Counter = collections.Counter()
+        # Flush markers: value of each lifetime statistic when
+        # :meth:`flush_stats` last ran.  ``stats()`` subtracts them to
+        # report the since-last-flush window next to the lifetime totals.
+        self._flush_stats = collections.Counter()
+        self._flush_batch_sizes: collections.Counter = collections.Counter()
+        self._flush_cache: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -283,6 +291,13 @@ class KNNServer:
                 raise ServerClosed("server is not running; call start()")
             if len(self._queue) >= self.max_queue:
                 self._stats["rejected"] += 1
+                reg = obs.REGISTRY
+                if reg.enabled:
+                    reg.counter(
+                        "server_requests_total",
+                        "server requests by final status",
+                        status=REJECTED,
+                    ).inc()
                 pending.complete(ServerResponse(
                     request=request, status=REJECTED,
                     error=f"queue full ({self.max_queue})",
@@ -355,6 +370,7 @@ class KNNServer:
         report = UpdateReport()
         start = time.monotonic()
         with self._update_lock.write():
+            hold_start = time.perf_counter()
             if weight_deltas:
                 with self._lock:
                     default = self._engines[None]
@@ -384,6 +400,12 @@ class KNNServer:
                     self._objects_fp[category] = new_fp
                 if old_fp is not None and old_fp != new_fp:
                     self.cache.invalidate(old_fp)
+        reg = obs.REGISTRY
+        if reg.enabled:
+            reg.histogram(
+                "server_write_hold_seconds",
+                "write-lock hold time per update batch",
+            ).observe(time.perf_counter() - hold_start)
         report.elapsed_s = time.monotonic() - start
         return report
 
@@ -417,6 +439,13 @@ class KNNServer:
             batch = self._next_batch()
             if batch is None:
                 return
+            if batch:
+                reg = obs.REGISTRY
+                if reg.enabled:
+                    reg.histogram(
+                        "server_batch_size",
+                        "requests drained per worker dispatch",
+                    ).observe(len(batch))
             for group in coalesce(batch):
                 self._serve_group(group)
 
@@ -444,6 +473,19 @@ class KNNServer:
                 self._stats["cache_hits"] += 1
             if response.coalesced:
                 self._stats["coalesced_hits"] += 1
+        reg = obs.REGISTRY
+        if reg.enabled:
+            reg.counter(
+                "server_requests_total",
+                "server requests by final status",
+                status=response.status,
+            ).inc()
+            if response.latency_s is not None:
+                reg.histogram(
+                    "server_request_seconds",
+                    "submit-to-response latency",
+                    status=response.status,
+                ).observe(response.latency_s)
         pending.complete(response)
 
     def _serve_group(self, group: BatchGroup) -> None:
@@ -451,9 +493,24 @@ class KNNServer:
         with self._lock:
             self._batch_sizes[len(group.waiters)] += 1
         now = time.monotonic()
+        reg = obs.REGISTRY
+        if reg.enabled:
+            wait_h = reg.histogram(
+                "server_queue_wait_seconds", "submit-to-worker queue wait"
+            )
+            for pending in group.waiters:
+                wait_h.observe(now - pending.request.submitted_at)
+            reg.histogram(
+                "server_group_size", "waiters per coalesced group"
+            ).observe(len(group.waiters))
         live: List[PendingRequest] = []
         for pending in group.waiters:
             if pending.request.expired(now):
+                if reg.enabled:
+                    reg.counter(
+                        "server_deadline_missed_total",
+                        "requests expired in queue",
+                    ).inc()
                 self._finish(pending, ServerResponse(
                     request=pending.request,
                     status=DEADLINE_EXCEEDED,
@@ -471,30 +528,48 @@ class KNNServer:
         # a frozen (graph weights, indexes, object sets, cache) world; a
         # concurrent apply_updates waits for it to drain.
         with self._update_lock.read():
-            engine, objects_fp = self._category_state(group.category)
-            try:
-                key = result_key(
-                    self._graph_fp,
-                    objects_fp,
-                    group.vertex,
-                    group.k,
-                    # Cache under the planner's resolution so "auto" and
-                    # the explicit method it resolves to share entries.
-                    # This can raise (UnknownMethod on a bad
-                    # client-supplied name), so it runs inside the
-                    # answer-the-waiters guard.
-                    engine.resolve_method(group.method, group.k),
-                )
-                result = self.cache.get(key)
-                if result is not None:
-                    cache_hit = True
-                else:
-                    result = engine.query(
-                        group.vertex, group.k, method=group.method
+            read_start = time.perf_counter()
+            with _span(
+                "serve_group",
+                vertex=group.vertex,
+                k=group.k,
+                waiters=len(live),
+            ):
+                engine, objects_fp = self._category_state(group.category)
+                try:
+                    key = result_key(
+                        self._graph_fp,
+                        objects_fp,
+                        group.vertex,
+                        group.k,
+                        # Cache under the planner's resolution so "auto"
+                        # and the explicit method it resolves to share
+                        # entries.  This can raise (UnknownMethod on a
+                        # bad client-supplied name), so it runs inside
+                        # the answer-the-waiters guard.
+                        engine.resolve_method(group.method, group.k),
                     )
-                    self.cache.put(key, result)
-            except Exception as exc:  # answer waiters, don't kill the worker
-                error = f"{type(exc).__name__}: {exc}"
+                    result = self.cache.get(key)
+                    if result is not None:
+                        cache_hit = True
+                    else:
+                        result = engine.query(
+                            group.vertex, group.k, method=group.method
+                        )
+                        self.cache.put(key, result)
+                except Exception as exc:  # answer waiters, not the worker
+                    error = f"{type(exc).__name__}: {exc}"
+        if reg.enabled:
+            reg.histogram(
+                "server_read_hold_seconds",
+                "read-lock hold time per served group",
+            ).observe(time.perf_counter() - read_start)
+            if error is None:
+                reg.counter(
+                    "server_cache_requests_total",
+                    "result-cache lookups by outcome",
+                    outcome="hit" if cache_hit else "miss",
+                ).inc()
         for i, pending in enumerate(live):
             if error is not None:
                 response = ServerResponse(
@@ -515,29 +590,84 @@ class KNNServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @staticmethod
+    def _batch_summary(sizes: Dict[int, int], coalesced: int) -> Dict[str, object]:
+        dispatches = sum(sizes.values())
+        requests = sum(n * c for n, c in sizes.items())
+        return {
+            "dispatches": dispatches,
+            "mean_group_size": round(requests / dispatches, 3)
+            if dispatches
+            else 0.0,
+            "coalesced_hits": coalesced,
+        }
+
     def stats(self) -> Dict[str, object]:
-        """A point-in-time stats snapshot (counts, batching, cache)."""
+        """A point-in-time stats snapshot (counts, batching, cache).
+
+        Top-level keys are **lifetime** totals since :meth:`start` —
+        the shape every existing consumer reads.  The ``since_flush``
+        section repeats ``counts``/``batch``/``cache`` as the window
+        since the last :meth:`flush_stats` call (the whole lifetime if
+        it never ran), so an operator tailing a long-lived server can
+        see current behaviour instead of history-dominated averages.
+        """
         with self._lock:
             counts = dict(self._stats)
             sizes = dict(self._batch_sizes)
             queued = len(self._queue)
-        dispatches = sum(sizes.values())
-        requests = sum(n * c for n, c in sizes.items())
+            window_counts = dict(self._stats - self._flush_stats)
+            window_sizes = dict(self._batch_sizes - self._flush_batch_sizes)
+            cache_marker = dict(self._flush_cache)
+        cache_stats = self.cache.stats()
+        window_cache: Dict[str, object] = {}
+        for key, value in cache_stats.items():
+            if key in ("hits", "misses", "evictions", "invalidations"):
+                window_cache[key] = value - cache_marker.get(key, 0)
+            elif key != "hit_rate":
+                window_cache[key] = value
+        wh, wm = window_cache.get("hits", 0), window_cache.get("misses", 0)
+        window_cache["hit_rate"] = round(wh / (wh + wm), 4) if wh + wm else 0.0
         return {
             "queued": queued,
             "workers": self.workers,
             "max_queue": self.max_queue,
             "max_batch": self.max_batch,
             "counts": counts,
-            "batch": {
-                "dispatches": dispatches,
-                "mean_group_size": round(requests / dispatches, 3)
-                if dispatches
-                else 0.0,
-                "coalesced_hits": counts.get("coalesced_hits", 0),
+            "batch": self._batch_summary(
+                sizes, counts.get("coalesced_hits", 0)
+            ),
+            "cache": cache_stats,
+            "since_flush": {
+                "counts": window_counts,
+                "batch": self._batch_summary(
+                    window_sizes, window_counts.get("coalesced_hits", 0)
+                ),
+                "cache": window_cache,
             },
-            "cache": self.cache.stats(),
             # Hot-path kernel the serving engine resolves queries on
             # ("array" unless the operator forced the reference loops).
             "kernel": getattr(self._engines[None], "kernel", None),
         }
+
+    def flush_stats(self) -> Dict[str, object]:
+        """Close the current stats window and start a new one.
+
+        Returns the :meth:`stats` snapshot taken at the flush point (its
+        ``since_flush`` section is the window that just closed); the
+        lifetime totals are never reset.
+        """
+        snapshot = self.stats()
+        with self._lock:
+            self._flush_stats = collections.Counter(self._stats)
+            self._flush_batch_sizes = collections.Counter(self._batch_sizes)
+            self._flush_cache = {
+                k: v
+                for k, v in self.cache.stats().items()
+                if k in ("hits", "misses", "evictions", "invalidations")
+            }
+        return snapshot
+
+    def metrics_text(self) -> str:
+        """The process-wide metrics registry in Prometheus text format."""
+        return obs.REGISTRY.to_prometheus()

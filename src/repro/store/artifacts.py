@@ -14,10 +14,13 @@ is a self-contained experiment input, not just an index cache.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import obs
 
 from repro.graph.graph import Graph
 from repro.index.gtree import GTree
@@ -112,13 +115,20 @@ def save_index(
             f"{', '.join(INDEX_KINDS)}"
         )
     key = artifact_key(graph, params)
-    return store.put(
+    start = time.perf_counter()
+    record = store.put(
         kind,
         key,
         index.to_arrays(),
         build_time_s=index.build_time(),
         params=params,
     )
+    reg = obs.REGISTRY
+    if reg.enabled:
+        reg.histogram(
+            "artifact_save_seconds", "index artifact save time", kind=kind
+        ).observe(time.perf_counter() - start)
+    return record
 
 
 def load_index(
@@ -140,8 +150,15 @@ def load_index(
         raise ValueError(
             f"loading {kind!r} requires deps: {', '.join(missing)}"
         )
+    start = time.perf_counter()
     arrays = store.get(kind, artifact_key(graph, params))
-    return spec.loader(graph, arrays, deps or {})
+    index = spec.loader(graph, arrays, deps or {})
+    reg = obs.REGISTRY
+    if reg.enabled:
+        reg.histogram(
+            "artifact_load_seconds", "index artifact load time", kind=kind
+        ).observe(time.perf_counter() - start)
+    return index
 
 
 # ----------------------------------------------------------------------
