@@ -370,8 +370,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     Protocol: one request per line, ``VERTEX K [METHOD]``; the command
     lines ``stats`` (JSON statistics; ``stats flush`` also closes the
-    since-flush window) and ``metrics`` (Prometheus text) report on the
-    running server; EOF stops it and prints its statistics.  Index
+    since-flush window), ``metrics`` (Prometheus text) and ``health``
+    (worker liveness, circuit breakers, quarantine counts) report on
+    the running server; EOF stops it and prints its statistics.  Index
     builds happen during warmup, never while serving — point
     ``--store`` at a prebuilt store and warmup is a millisecond disk
     load.
@@ -396,7 +397,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"{graph}, |O|={len(objects)}, {args.workers} workers; "
         "reading 'VERTEX K [METHOD]' lines from stdin "
-        "('stats' / 'metrics' report on the running server)"
+        "('stats' / 'metrics' / 'health' report on the running server)"
     )
     try:
         for line in sys.stdin:
@@ -414,6 +415,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 continue
             if command == "metrics":
                 print(server.metrics_text())
+                continue
+            if command == "health":
+                print(json.dumps(server.health(), indent=2, sort_keys=True))
                 continue
             try:
                 vertex = int(parts[0])
@@ -533,9 +537,15 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     server.start(warmup_methods=[args.method])
     builds_before = sum(BUILD_COUNTERS.as_dict().values())
     if args.open_loop or args.workload == "diurnal":
-        report = run_open_loop(server, items, time_scale=args.time_scale)
+        report = run_open_loop(
+            server, items, time_scale=args.time_scale,
+            timeout_s=args.client_timeout, retries=args.client_retries,
+        )
     else:
-        report = run_closed_loop(server, items, concurrency=args.concurrency)
+        report = run_closed_loop(
+            server, items, concurrency=args.concurrency,
+            timeout_s=args.client_timeout, retries=args.client_retries,
+        )
     server.stop()
     serve_builds = sum(BUILD_COUNTERS.as_dict().values()) - builds_before
     report.baseline_qps = baseline_qps
@@ -555,6 +565,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     )
     counts = ", ".join(f"{k}={v}" for k, v in sorted(report.status_counts.items()))
     print(f"  statuses: {counts}")
+    if report.client_retries:
+        print(f"  client retries: {report.client_retries}")
     cache = payload["server"]["cache"]
     print(
         f"  cache: {cache['hits']} hits / {cache['misses']} misses "
@@ -848,6 +860,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="categories: requests between category hops")
     lt.add_argument("--no-baseline", dest="baseline", action="store_false",
                     help="skip the sequential baseline (and verification)")
+    lt.add_argument("--client-retries", type=int, default=0,
+                    help="client-side resubmissions of error/timed-out "
+                         "requests (with doubling backoff)")
+    lt.add_argument("--client-timeout", type=float, default=30.0,
+                    help="client-side wait per attempt, seconds")
     lt.add_argument("--json", default="BENCH_server.json",
                     help="machine-readable report path ('' disables)")
     lt.set_defaults(func=cmd_loadtest)

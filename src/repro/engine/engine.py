@@ -22,7 +22,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro import obs
-from repro.engine.planner import plan_method
+from repro.engine.planner import LOW_DENSITY_METHODS, plan_method
 from repro.engine.query import (
     KNNQuery,
     KNNResult,
@@ -30,12 +30,13 @@ from repro.engine.query import (
     as_queries,
     normalise_query,
 )
-from repro.engine.registry import get_method
+from repro.engine.registry import MethodUnavailable, get_method
 from repro.engine.workbench import IndexCache
 from repro.graph.graph import Graph
 from repro.knn.base import KNNAlgorithm
 from repro.knn.paths import shortest_paths_to
 from repro.obs.tracing import span as _span
+from repro.resilience.errors import classify
 from repro.utils.counters import Counters
 
 
@@ -298,6 +299,7 @@ class QueryEngine:
         *,
         with_paths: Optional[bool] = None,
         counters: Optional[Counters] = None,
+        avoid_methods: frozenset = frozenset(),
     ) -> KNNResult:
         """Answer one kNN query, returning a structured :class:`KNNResult`.
 
@@ -321,24 +323,38 @@ class QueryEngine:
         algorithm-internal events into (a fresh one is created
         otherwise and returned on the result).
 
+        Graceful degradation: when the resolved method fails with a
+        *degradable* error (an index could not be built or loaded, a
+        kernel raised, an injected fault fired — see
+        :func:`repro.resilience.errors.is_degradable`) the engine walks
+        :meth:`fallback_chain` and answers with the first method that
+        succeeds.  Every method is exact, so the ``(distance, vertex)``
+        answer is identical — only the provenance changes:
+        ``KNNResult.degraded`` is True and ``fallback_from`` names the
+        method that failed.  ``avoid_methods`` pre-emptively skips
+        methods (the server passes the circuit-broken ones), producing
+        the same degraded provenance without waiting for the failure.
+        Non-degradable errors (bad arguments, repair failures, worker
+        control-flow) propagate unchanged.
+
         Raises :class:`~repro.engine.registry.UnknownMethod` for names
         the registry has never seen and
         :class:`~repro.engine.registry.MethodUnavailable` when the named
         method cannot run on this network (e.g. SILC over its vertex
-        cap).
+        cap) and every fallback is exhausted.
         """
         q = normalise_query(query, k, method, with_paths)
         c = counters if counters is not None else Counters()
         with _span("query", vertex=q.vertex, k=q.k) as qspan:
             with _span("plan"):
                 resolved = self.resolve_method(q.method, q.k)
-            kernel = self.method_kernel(resolved)
             qspan.annotate(method=resolved)
             if not self.objects:
                 # An empty object set has an exact answer — no neighbors
                 # — and several algorithms cannot even be constructed
                 # over it (IER's R-tree needs at least one object), so
                 # short-circuit before any algorithm instance is built.
+                kernel = self.method_kernel(resolved)
                 obs.record_query(
                     resolved, 0.0, c, kernel=kernel,
                     vertex=q.vertex, k=q.k, trace=qspan,
@@ -347,35 +363,132 @@ class QueryEngine:
                     query=q, method=resolved, neighbors=(), counters=c,
                     time_s=0.0, kernel=kernel,
                 )
-            with _span("ensure", method=resolved):
-                alg = self.algorithm(resolved)
-            with _span("knn", method=resolved) as kspan:
-                start = time.perf_counter()
-                raw = alg.knn(q.vertex, q.k, counters=c)
-                elapsed = time.perf_counter() - start
-                kspan.annotate(**c.as_dict())
-            paths: Dict[int, tuple] = {}
-            if q.with_paths:
-                with _span("paths", n=len(raw)):
-                    paths = shortest_paths_to(
-                        self.graph, q.vertex, [v for _, v in raw]
+            last_error: Optional[BaseException] = None
+            if resolved not in avoid_methods:
+                try:
+                    return self._execute(q, resolved, None, c, qspan)
+                except Exception as exc:
+                    if not classify(exc).degradable:
+                        raise
+                    last_error = exc
+                    self._note_method_error(resolved, exc)
+            # Degraded path: the planner's choice failed (or an open
+            # circuit breaker told us not to try it).  Built lazily so
+            # the healthy hot path never pays for it.
+            for name, kernel_override in self.fallback_chain(
+                resolved, avoid_methods
+            ):
+                try:
+                    result = self._execute(
+                        q, name, kernel_override, c, qspan,
+                        fallback_from=resolved,
                     )
-            neighbors = tuple(
-                Neighbor(
-                    float(d),
-                    int(v),
-                    path=tuple(paths[int(v)][1]) if int(v) in paths else None,
+                except Exception as exc:
+                    if not classify(exc).degradable:
+                        raise
+                    last_error = exc
+                    self._note_method_error(name, exc)
+                    continue
+                reg = obs.REGISTRY
+                if reg.enabled:
+                    reg.counter(
+                        "engine_fallback_total",
+                        "queries answered by a fallback method",
+                        from_method=resolved,
+                        to_method=name,
+                    ).inc()
+                return result
+            if last_error is not None:
+                raise last_error
+            raise MethodUnavailable(resolved, "no fallback method available")
+
+    def fallback_chain(
+        self, resolved: str, avoid_methods: frozenset = frozenset()
+    ) -> List[tuple]:
+        """Ordered ``(method, kernel_override)`` rungs to try after
+        ``resolved`` failed.
+
+        Planner preference order first (skipping ``resolved``, avoided
+        and unavailable methods), then the terminal rung: plain INE on
+        the pure-python kernel, which needs no prebuilt index and no
+        array backend — it can always answer, just slowly.
+        """
+        chain: List[tuple] = []
+        for name in LOW_DENSITY_METHODS:
+            if name == resolved or name in avoid_methods:
+                continue
+            if self.workbench.method_availability(name) is not None:
+                continue
+            chain.append((name, None))
+        terminal = ("ine", "python")
+        tried_terminal = (
+            resolved == "ine" or ("ine", None) in chain
+        ) and self.kernel == "python"
+        if not tried_terminal:
+            chain.append(terminal)
+        return chain
+
+    def _note_method_error(self, name: str, exc: BaseException) -> None:
+        reg = obs.REGISTRY
+        if reg.enabled:
+            reg.counter(
+                "engine_method_errors_total",
+                "query attempts that raised, by method and error class",
+                method=name,
+                **{"class": classify(exc).name},
+            ).inc()
+
+    def _execute(
+        self,
+        q: KNNQuery,
+        method: str,
+        kernel_override: Optional[str],
+        c: Counters,
+        qspan,
+        fallback_from: Optional[str] = None,
+    ) -> KNNResult:
+        """Run one method end to end (ensure index, search, paths)."""
+        with _span("ensure", method=method):
+            if (
+                kernel_override is not None
+                and get_method(method).supports_kernel
+            ):
+                kernel: Optional[str] = kernel_override
+                alg = self.algorithm(method, kernel=kernel_override)
+            else:
+                kernel = self.method_kernel(method)
+                alg = self.algorithm(method)
+        with _span("knn", method=method) as kspan:
+            start = time.perf_counter()
+            raw = alg.knn(q.vertex, q.k, counters=c)
+            elapsed = time.perf_counter() - start
+            kspan.annotate(**c.as_dict())
+        paths: Dict[int, tuple] = {}
+        if q.with_paths:
+            with _span("paths", n=len(raw)):
+                paths = shortest_paths_to(
+                    self.graph, q.vertex, [v for _, v in raw]
                 )
-                for d, v in raw
+        neighbors = tuple(
+            Neighbor(
+                float(d),
+                int(v),
+                path=tuple(paths[int(v)][1]) if int(v) in paths else None,
             )
-            obs.record_query(
-                resolved, elapsed, c, kernel=kernel,
-                vertex=q.vertex, k=q.k, trace=qspan,
-            )
-            return KNNResult(
-                query=q, method=resolved, neighbors=neighbors, counters=c,
-                time_s=elapsed, kernel=kernel,
-            )
+            for d, v in raw
+        )
+        degraded = fallback_from is not None
+        if degraded:
+            qspan.annotate(degraded=True, fallback_from=fallback_from)
+        obs.record_query(
+            method, elapsed, c, kernel=kernel,
+            vertex=q.vertex, k=q.k, trace=qspan,
+        )
+        return KNNResult(
+            query=q, method=method, neighbors=neighbors, counters=c,
+            time_s=elapsed, kernel=kernel,
+            degraded=degraded, fallback_from=fallback_from,
+        )
 
     def batch(
         self,

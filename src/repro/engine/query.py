@@ -71,6 +71,14 @@ class KNNResult:
     #: Hot-path kernel the method ran on (``"python"`` / ``"array"``), or
     #: ``None`` for methods without a kernel knob.
     kernel: Optional[str] = None
+    #: True when the answer came from a fallback method because the
+    #: planner's choice failed (or was avoided by an open circuit
+    #: breaker).  The answer is still exact — every method is — but the
+    #: provenance differs from a healthy run.
+    degraded: bool = False
+    #: The method the planner resolved that this result degraded *from*
+    #: (``None`` on a healthy, non-degraded result).
+    fallback_from: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Tuple-list back-compat surface

@@ -28,6 +28,7 @@ import numpy as np
 from repro import obs
 from repro.engine import registry
 from repro.obs.tracing import span as _span
+from repro.resilience.faults import FaultError, fault_check
 from repro.graph.graph import Graph
 from repro.index.gtree import GTree
 from repro.index.road import RoadIndex
@@ -140,13 +141,25 @@ class IndexCache:
         """Load ``kind`` from the store if possible, else build and save.
 
         A clean store miss (:class:`~repro.store.ArtifactMissing`) falls
-        through to ``build()``; genuine store damage
-        (:class:`~repro.store.StoreCorruption`) propagates with its
-        repair instructions rather than being silently rebuilt over.
+        through to ``build()``.  Store damage
+        (:class:`~repro.store.StoreCorruption`) is **quarantined**: the
+        bad artifact is moved into ``<store>/quarantine/`` (preserved
+        for post-mortem), counted, and the index rebuilt — a corrupt
+        cache entry must never take the query path down.  A failed save
+        after a fresh build is likewise tolerated (counted; the built
+        index still serves) — persistence is an optimisation, not a
+        correctness requirement.
         """
         if self.store is None:
             return self._timed_build(kind, build)
-        from repro.store import ArtifactMissing, load_index, save_index
+        from repro.store import (
+            ArtifactMissing,
+            StoreCorruption,
+            StoreError,
+            artifact_key,
+            load_index,
+            save_index,
+        )
 
         try:
             with _span("index_load", kind=kind):
@@ -156,16 +169,34 @@ class IndexCache:
             self._note_obtained(kind, "loaded")
             return index
         except ArtifactMissing:
-            index = self._timed_build(kind, build)
+            pass
+        except StoreCorruption as exc:
+            from repro.resilience.quarantine import quarantine_artifact
+
+            quarantine_artifact(
+                self.store, kind, artifact_key(self.graph, params),
+                reason=str(exc),
+            )
+        index = self._timed_build(kind, build)
+        try:
             with _span("index_save", kind=kind):
                 save_index(
                     self.store, kind, self.graph, index, params=params
                 )
-            return index
+        except StoreError:
+            reg = obs.REGISTRY
+            if reg.enabled:
+                reg.counter(
+                    "store_save_failures_total",
+                    "index artifact saves that failed (index still serves)",
+                    kind=kind,
+                ).inc()
+        return index
 
     def _timed_build(self, kind: str, build: Callable[[], object]):
         """Run ``build()`` under a span, recording its wall time."""
         with _span("index_build", kind=kind):
+            fault_check("index.build")
             start = time.perf_counter()
             index = build()
             elapsed = time.perf_counter() - start
@@ -338,6 +369,7 @@ class IndexCache:
                     continue
                 try:
                     with _span("index_repair", kind=kind):
+                        fault_check("index.repair")
                         start = time.perf_counter()
                         repaired[kind] = index.apply_weight_deltas(changed)
                         elapsed = time.perf_counter() - start
@@ -347,7 +379,11 @@ class IndexCache:
                             "in-place index repair time",
                             kind=kind,
                         ).observe(elapsed)
-                except RepairUnavailable:
+                except (RepairUnavailable, FaultError):
+                    # An injected repair fault degrades exactly like a
+                    # real RepairUnavailable: drop the slot, rebuild
+                    # lazily.  The graph already mutated, so serving the
+                    # unrepaired index would be wrong; dropping is safe.
                     setattr(self, slot, None)
                     dropped.append(kind)
         for kind in ("silc", "hub_labels", "tnr"):

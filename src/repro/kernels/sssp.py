@@ -29,6 +29,7 @@ import numpy as np
 from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.graph.graph import Graph
+from repro.resilience.faults import fault_check
 from repro.utils.counters import Counters, NULL_COUNTERS
 
 INF = float("inf")
@@ -54,6 +55,9 @@ def sssp_distances(
     bounded SSSP leaves tentative frontier values there instead — callers
     must only rely on entries at or below the cutoff).
     """
+    # Every array-kernel SSSP flow (p2p, bounded, targets, nearest
+    # objects) funnels through here, so one fault point covers them all.
+    fault_check("kernel.sssp")
     matrix = graph.to_csr_matrix()
     if np.isfinite(limit):
         return _csgraph_dijkstra(matrix, directed=True, indices=source, limit=limit)

@@ -1,0 +1,107 @@
+"""Transient-vs-permanent error taxonomy for the serving stack.
+
+:func:`classify` maps any exception raised while answering a request to
+an :class:`ErrorClass` with two orthogonal verdicts:
+
+* ``transient`` — retrying the *same* work may succeed (an injected
+  kernel fault, a store hiccup, a quarantined-then-rebuilt artifact).
+  The server's per-request retry loop only spends backoff budget on
+  these.
+* ``degradable`` — a *different method* may still answer exactly (every
+  registered method is exact, so a kernel fault in INE's scipy path does
+  not poison the answer — G-tree or the pure-python INE loop returns the
+  identical neighbor list).  The engine's fallback chain only catches
+  these; client programming errors (unknown method/category, bad
+  arguments) propagate unchanged.
+
+The class ``name`` labels the ``server_errors_total{class=...}`` obs
+counter so operators can tell a client-error storm from store damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ErrorClass:
+    """One taxonomy verdict for an exception."""
+
+    name: str
+    transient: bool
+    degradable: bool
+
+
+#: Verdicts, keyed by taxonomy name (single source for docs and tests).
+CLIENT = ErrorClass("client", transient=False, degradable=False)
+#: Not degradable: "this method cannot run on this network" is a static
+#: property (SILC vertex cap, missing backend), not a fault — a caller
+#: who explicitly named the method wants the refusal, not a silent
+#: substitute.  The planner never resolves "auto" to an unavailable
+#: method, so the auto path cannot hit this.
+UNAVAILABLE = ErrorClass("unavailable", transient=False, degradable=False)
+CORRUPTION = ErrorClass("corruption", transient=True, degradable=True)
+STORE = ErrorClass("store", transient=True, degradable=True)
+KERNEL = ErrorClass("kernel", transient=True, degradable=True)
+INJECTED = ErrorClass("injected", transient=True, degradable=True)
+REPAIR = ErrorClass("repair", transient=True, degradable=False)
+TIMEOUT = ErrorClass("timeout", transient=True, degradable=False)
+RESOURCE = ErrorClass("resource", transient=False, degradable=True)
+IO = ErrorClass("io", transient=True, degradable=True)
+WORKER = ErrorClass("worker", transient=False, degradable=False)
+INTERNAL = ErrorClass("internal", transient=False, degradable=True)
+
+
+def classify(exc: BaseException) -> ErrorClass:
+    """The :class:`ErrorClass` verdict for ``exc``.
+
+    Imports are deliberately local: this module sits below the engine,
+    store and update layers in the import graph, and classification only
+    runs on the (cold) error path.
+    """
+    from repro.engine.registry import MethodUnavailable, UnknownMethod
+    from repro.resilience.faults import (
+        FaultError,
+        KernelFault,
+        WorkerKilled,
+    )
+    from repro.store import ArtifactMissing, StoreCorruption, StoreError
+    from repro.updates import RepairUnavailable
+
+    if isinstance(exc, WorkerKilled):
+        return WORKER
+    if isinstance(exc, KernelFault):
+        return KERNEL
+    if isinstance(exc, FaultError):
+        return INJECTED
+    if isinstance(exc, (UnknownMethod, KeyError)):
+        # UnknownMethod is a ValueError subclass but a *client* mistake;
+        # KeyError covers the server's UnknownCategory.
+        return CLIENT
+    if isinstance(exc, MethodUnavailable):
+        return UNAVAILABLE
+    if isinstance(exc, StoreCorruption):
+        return CORRUPTION
+    if isinstance(exc, (ArtifactMissing, StoreError)):
+        return STORE
+    if isinstance(exc, RepairUnavailable):
+        return REPAIR
+    if isinstance(exc, TimeoutError):
+        return TIMEOUT
+    if isinstance(exc, MemoryError):
+        return RESOURCE
+    if isinstance(exc, (ValueError, TypeError)):
+        return CLIENT
+    if isinstance(exc, OSError):
+        return IO
+    return INTERNAL
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying the same work may succeed."""
+    return classify(exc).transient
+
+
+def is_degradable(exc: BaseException) -> bool:
+    """True when a fallback method may still answer this query exactly."""
+    return classify(exc).degradable

@@ -1,0 +1,73 @@
+"""Store-corruption quarantine: move the bad artifact aside and count it.
+
+When an index load raises :class:`~repro.store.StoreCorruption`, crashing
+the query path is the worst available option — the artifact is a pure
+cache of a rebuildable preprocessing product.  The quarantine policy
+instead:
+
+1. moves the offending artifact file into ``<store>/quarantine/`` (it is
+   preserved for post-mortem, not deleted) and drops its manifest entry
+   (:meth:`repro.store.IndexStore.quarantine`);
+2. counts the event — per store root and kind here, plus the
+   ``store_quarantined_total{kind=...}`` obs counter;
+3. lets the caller rebuild: the next store lookup is a clean
+   :class:`~repro.store.ArtifactMissing` miss, so the ordinary
+   build-and-save path repopulates the slot.
+
+``IndexCache._obtain`` applies this automatically; the server's
+``health`` report surfaces the counts for its engine's store.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+_LOCK = threading.Lock()
+#: ``(resolved store root, kind) -> quarantined artifact count``.
+_COUNTS: Dict[tuple, int] = {}
+
+
+def quarantine_artifact(
+    store, kind: str, key: str, reason: str = ""
+) -> Optional[Path]:
+    """Quarantine one corrupt artifact; returns its new path (or None).
+
+    Never raises on a store whose manifest is itself unreadable — the
+    event is still counted so operators see the store needs ``gc``.
+    """
+    from repro import obs
+
+    try:
+        moved = store.quarantine(kind, key)
+    except Exception:
+        moved = None
+    root = str(Path(store.root).resolve())
+    with _LOCK:
+        _COUNTS[(root, kind)] = _COUNTS.get((root, kind), 0) + 1
+    reg = obs.REGISTRY
+    if reg.enabled:
+        reg.counter(
+            "store_quarantined_total",
+            "corrupt artifacts moved to quarantine, by kind",
+            kind=kind,
+        ).inc()
+    return moved
+
+
+def quarantine_counts(root=None) -> Dict[str, int]:
+    """Quarantine counts by kind — for one store root, or all stores."""
+    wanted = None if root is None else str(Path(root).resolve())
+    out: Dict[str, int] = {}
+    with _LOCK:
+        for (r, kind), n in _COUNTS.items():
+            if wanted is None or r == wanted:
+                out[kind] = out.get(kind, 0) + n
+    return out
+
+
+def reset_quarantine_counts() -> None:
+    """Test hook: forget all recorded quarantine events."""
+    with _LOCK:
+        _COUNTS.clear()

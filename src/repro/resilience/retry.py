@@ -1,0 +1,62 @@
+"""Capped, jittered exponential backoff for retries.
+
+One :class:`RetryPolicy` instance answers two questions: how many
+attempts a piece of work gets (``max_attempts``) and how long to sleep
+before attempt ``n+1`` (:meth:`backoff_s`).  The delay doubles per
+attempt up to ``cap_s`` and is then shrunk by a random jitter fraction —
+the standard herd-avoidance shape — drawn from a seeded RNG so test and
+bench schedules replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+
+class RetryPolicy:
+    """Backoff schedule: ``min(cap, base * multiplier**(n-1)) * jittered``.
+
+    ``jitter`` is the fraction of the raw delay randomly shaved off
+    (0.5 means the actual sleep lands uniformly in [50%, 100%] of the
+    raw delay).  Thread-safe; server workers share one instance.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_s: float = 0.002,
+        cap_s: float = 0.05,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_s < 0 or cap_s < 0:
+            raise ValueError("base_s and cap_s must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = int(max_attempts)
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retrying after the ``attempt``-th try (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.cap_s, self.base_s * self.multiplier ** (attempt - 1))
+        with self._lock:
+            u = self._rng.random()
+        return raw * (1.0 - self.jitter * u)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_s={self.base_s}, cap_s={self.cap_s})"
+        )

@@ -1,0 +1,108 @@
+"""Worker heartbeats and the periodic supervisor thread.
+
+:class:`Heartbeats` is a tiny thread-safe ledger: each worker calls
+``beat(name)`` every loop iteration (including while idle-waiting for
+work), and the supervisor reads ``age_s`` to spot wedged threads.
+
+:class:`Supervisor` runs a caller-supplied check callback on a fixed
+interval from a daemon thread.  The server's callback restarts workers
+that died (thread no longer alive) and abandons-then-replaces workers
+whose heartbeat went stale (wedged in a stall).  A crashing check is
+counted and survived — the supervisor must outlive the things it
+supervises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+
+class Heartbeats:
+    """Last-beat timestamps by worker name (``time.monotonic``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._beats: Dict[str, float] = {}
+
+    def beat(self, name: str) -> None:
+        with self._lock:
+            self._beats[name] = time.monotonic()
+
+    def age_s(self, name: str, now: Optional[float] = None) -> Optional[float]:
+        """Seconds since ``name`` last beat, or None if it never did."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            at = self._beats.get(name)
+        return None if at is None else now - at
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            self._beats.pop(name, None)
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+        """``{name: age_s}`` for every tracked worker."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            return {name: now - at for name, at in self._beats.items()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._beats.clear()
+
+
+class Supervisor:
+    """Run ``check()`` every ``interval_s`` from a daemon thread."""
+
+    def __init__(
+        self,
+        check: Callable[[], None],
+        interval_s: float = 0.25,
+        name: str = "knn-supervisor",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._check = check
+        self.interval_s = float(interval_s)
+        self.name = name
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.error_count = 0
+
+    def start(self) -> "Supervisor":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name=self.name, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self._check()
+            except Exception:
+                self.error_count += 1
+                from repro import obs
+
+                reg = obs.REGISTRY
+                if reg.enabled:
+                    reg.counter(
+                        "supervisor_errors_total",
+                        "exceptions raised by the supervisor check",
+                    ).inc()

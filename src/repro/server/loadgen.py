@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine.engine import QueryEngine
 from repro.engine.query import KNNResult
-from repro.server.request import OK, PendingRequest
+from repro.server.request import ERROR, OK, PendingRequest
 from repro.server.server import KNNServer
 from repro.server.workloads import UpdateItem, WorkItem
 
@@ -62,6 +62,9 @@ class LoadReport:
     #: caller verify server answers against a ground-truth run.  A slot
     #: is ``None`` where the driver timed out waiting for the response.
     responses: List[object] = field(default_factory=list, repr=False)
+    #: Client-side resubmissions (error responses / wait timeouts that
+    #: the driver retried with backoff); 0 when retries are disabled.
+    client_retries: int = 0
 
     @property
     def completed(self) -> int:
@@ -93,6 +96,7 @@ class LoadReport:
                 "mean": round(self.latency_mean_ms, 4),
             },
             "status_counts": dict(self.status_counts),
+            "client_retries": self.client_retries,
             "baseline_qps": (
                 round(self.baseline_qps, 3) if self.baseline_qps else None
             ),
@@ -108,6 +112,7 @@ def _report(
     server: KNNServer,
     completed: Sequence[PendingRequest],
     duration_s: float,
+    client_retries: int = 0,
 ) -> LoadReport:
     latencies_ms: List[float] = []
     status_counts: Dict[str, int] = {}
@@ -138,7 +143,70 @@ def _report(
         ),
         server_stats=server.stats(),
         responses=responses,
+        client_retries=client_retries,
     )
+
+
+class _RetryingClient:
+    """Shared submit-await-retry discipline for the load drivers.
+
+    A request is resubmitted (a *fresh* submission — the original may
+    still complete; only the last attempt is reported) when the client
+    times out waiting or receives an ``error`` response, up to
+    ``retries`` times with doubling backoff capped at 100 ms.
+    Rejections and deadline misses are **not** retried: they are the
+    server's admission-control and timeliness signals, and hammering a
+    full queue with resubmissions would only deepen the overload the
+    bounded queue exists to shed.
+    """
+
+    def __init__(self, retries: int, backoff_s: float) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.total = 0
+        self._lock = threading.Lock()
+
+    def _await(self, pending: PendingRequest, timeout_s: float):
+        try:
+            return pending.result(timeout=timeout_s)
+        except TimeoutError:
+            return None  # reported as a client-side timeout
+
+    def _retryable(self, response) -> bool:
+        return response is None or response.status == ERROR
+
+    def drive(
+        self, server: KNNServer, item: WorkItem, timeout_s: float
+    ) -> PendingRequest:
+        """Submit ``item`` and wait, retrying per the policy above."""
+        pending = server.submit(
+            item.vertex, item.k, item.method, category=item.category
+        )
+        response = self._await(pending, timeout_s)
+        return self.redrive(server, item, pending, response, timeout_s)
+
+    def redrive(
+        self,
+        server: KNNServer,
+        item: WorkItem,
+        pending: PendingRequest,
+        response,
+        timeout_s: float,
+    ) -> PendingRequest:
+        """Retry an already-awaited attempt until it sticks or budget ends."""
+        attempt = 0
+        while self._retryable(response) and attempt < self.retries:
+            attempt += 1
+            with self._lock:
+                self.total += 1
+            time.sleep(min(self.backoff_s * 2 ** (attempt - 1), 0.1))
+            pending = server.submit(
+                item.vertex, item.k, item.method, category=item.category
+            )
+            response = self._await(pending, timeout_s)
+        return pending
 
 
 def run_closed_loop(
@@ -147,13 +215,21 @@ def run_closed_loop(
     *,
     concurrency: int = 8,
     timeout_s: float = 30.0,
+    retries: int = 0,
+    retry_backoff_s: float = 0.01,
 ) -> LoadReport:
-    """Replay ``items`` from ``concurrency`` request-wait-request clients."""
+    """Replay ``items`` from ``concurrency`` request-wait-request clients.
+
+    ``retries`` > 0 resubmits error responses and client-side wait
+    timeouts with doubling backoff (see :class:`_RetryingClient`); the
+    report's ``client_retries`` counts every resubmission.
+    """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
     done: List[PendingRequest] = [None] * len(items)  # type: ignore[list-item]
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
+    retrier = _RetryingClient(retries, retry_backoff_s)
 
     def client() -> None:
         while True:
@@ -162,15 +238,7 @@ def run_closed_loop(
                 if i >= len(items):
                     return
                 cursor["next"] = i + 1
-            item = items[i]
-            pending = server.submit(
-                item.vertex, item.k, item.method, category=item.category
-            )
-            try:
-                pending.result(timeout=timeout_s)
-            except TimeoutError:
-                pass  # recorded as a timeout in the report; keep driving
-            done[i] = pending
+            done[i] = retrier.drive(server, items[i], timeout_s)
 
     start = time.perf_counter()
     clients = [
@@ -182,7 +250,10 @@ def run_closed_loop(
     for t in clients:
         t.join()
     duration = time.perf_counter() - start
-    return _report("closed-loop", server, [p for p in done if p], duration)
+    return _report(
+        "closed-loop", server, [p for p in done if p], duration,
+        client_retries=retrier.total,
+    )
 
 
 def run_open_loop(
@@ -191,6 +262,8 @@ def run_open_loop(
     *,
     time_scale: float = 1.0,
     timeout_s: float = 30.0,
+    retries: int = 0,
+    retry_backoff_s: float = 0.01,
 ) -> LoadReport:
     """Inject ``items`` at their ``at_s`` arrival offsets, waits be damned.
 
@@ -203,6 +276,7 @@ def run_open_loop(
     if time_scale <= 0:
         raise ValueError("time_scale must be positive")
     submitted: List[PendingRequest] = []
+    retrier = _RetryingClient(retries, retry_backoff_s)
     start = time.perf_counter()
     for item in items:
         due = start + item.at_s * time_scale
@@ -214,13 +288,18 @@ def run_open_loop(
                 item.vertex, item.k, item.method, category=item.category
             )
         )
-    for pending in submitted:
-        try:
-            pending.result(timeout=timeout_s)
-        except TimeoutError:
-            pass  # recorded as a timeout in the report
+    # Retries happen in the await pass so they never perturb the
+    # injection schedule (the whole point of an open loop).
+    for i, pending in enumerate(submitted):
+        response = retrier._await(pending, timeout_s)
+        submitted[i] = retrier.redrive(
+            server, items[i], pending, response, timeout_s
+        )
     duration = time.perf_counter() - start
-    return _report("open-loop", server, submitted, duration)
+    return _report(
+        "open-loop", server, submitted, duration,
+        client_retries=retrier.total,
+    )
 
 
 def run_mixed_closed_loop(
@@ -230,6 +309,8 @@ def run_mixed_closed_loop(
     *,
     concurrency: int = 8,
     timeout_s: float = 30.0,
+    retries: int = 0,
+    retry_backoff_s: float = 0.01,
 ) -> tuple:
     """Closed-loop readers racing one paced writer thread.
 
@@ -253,6 +334,7 @@ def run_mixed_closed_loop(
     cursor = {"next": 0, "reads_done": 0}
     cursor_lock = threading.Lock()
     readers_finished = threading.Event()
+    retrier = _RetryingClient(retries, retry_backoff_s)
 
     def client() -> None:
         while True:
@@ -261,15 +343,7 @@ def run_mixed_closed_loop(
                 if i >= len(items):
                     return
                 cursor["next"] = i + 1
-            item = items[i]
-            pending = server.submit(
-                item.vertex, item.k, item.method, category=item.category
-            )
-            try:
-                pending.result(timeout=timeout_s)
-            except TimeoutError:
-                pass  # recorded as a timeout in the report; keep driving
-            done[i] = pending
+            done[i] = retrier.drive(server, items[i], timeout_s)
             with cursor_lock:
                 cursor["reads_done"] += 1
 
@@ -302,7 +376,10 @@ def run_mixed_closed_loop(
     readers_finished.set()
     writer_thread.join()
     duration = time.perf_counter() - start
-    report = _report("mixed-closed-loop", server, [p for p in done if p], duration)
+    report = _report(
+        "mixed-closed-loop", server, [p for p in done if p], duration,
+        client_retries=retrier.total,
+    )
 
     latencies_ms = [lat * 1e3 for _, _, lat in applied]
     kind_counts: Dict[str, int] = {}

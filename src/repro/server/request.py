@@ -71,6 +71,15 @@ class ServerResponse:
     cache_hit: bool = False
     #: True when this request was coalesced onto another's computation.
     coalesced: bool = False
+    #: True when the engine answered via a fallback method (the planner's
+    #: choice failed or was circuit-broken).  Mirrors
+    #: ``result.degraded`` for callers that only look at the response.
+    degraded: bool = False
+    #: The method the answer degraded from (None when not degraded).
+    fallback_from: Optional[str] = None
+    #: Server-side retry attempts this request's group consumed beyond
+    #: the first (0 on a clean first attempt).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:

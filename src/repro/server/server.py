@@ -53,6 +53,17 @@ from repro.server.request import (
     ServerRequest,
     ServerResponse,
 )
+from repro.resilience import (
+    CircuitBreaker,
+    Heartbeats,
+    RetryPolicy,
+    Supervisor,
+    WorkerKilled,
+    classify,
+    current_plan,
+    fault_check,
+    quarantine_counts,
+)
 
 
 class ServerClosed(RuntimeError):
@@ -143,6 +154,21 @@ class KNNServer:
         default engine.
     default_deadline_s:
         Deadline applied to requests that do not carry their own.
+    retry_policy:
+        Server-side retry budget for *transient* errors (see
+        :mod:`repro.resilience.errors`); a :class:`RetryPolicy` with
+        capped jittered exponential backoff.  The default allows two
+        retries; ``RetryPolicy(max_attempts=1)`` disables retrying.
+    breaker_threshold / breaker_cooldown_s:
+        Per-method circuit breaker tuning: consecutive primary-method
+        failures that trip a breaker open, and how long it stays open
+        before letting a half-open probe through.
+    supervise:
+        Run the worker supervisor (default True): a daemon thread that
+        heartbeat-checks the pool every ``heartbeat_interval_s`` and
+        replaces workers that died or have not beaten for
+        ``wedge_timeout_s`` (wedged threads are abandoned — told to
+        exit at their next checkpoint — and replaced immediately).
     """
 
     def __init__(
@@ -155,6 +181,12 @@ class KNNServer:
         cache_capacity: int = 4096,
         categories: Optional[Dict[str, Sequence[int]]] = None,
         default_deadline_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 1.0,
+        supervise: bool = True,
+        heartbeat_interval_s: float = 0.25,
+        wedge_timeout_s: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -192,6 +224,21 @@ class KNNServer:
         self._flush_stats = collections.Counter()
         self._flush_batch_sizes: collections.Counter = collections.Counter()
         self._flush_cache: Dict[str, int] = {}
+        # Resilience: retries, per-method circuit breakers, worker
+        # supervision (heartbeats + replacement of dead/wedged threads).
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.supervise = supervise
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.wedge_timeout_s = wedge_timeout_s
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._heartbeats = Heartbeats()
+        self._abandoned: set = set()
+        self._worker_seq = 0
+        self._supervisor: Optional[Supervisor] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,16 +261,32 @@ class KNNServer:
                 resolved = engine.resolve_method(name)
                 if engine.objects:
                     engine.algorithm(resolved)
-        for i in range(self.workers):
+        for _ in range(self.workers):
+            self._spawn_worker()
+        if self.supervise:
+            self._supervisor = Supervisor(
+                self._check_workers, interval_s=self.heartbeat_interval_s
+            ).start()
+        return self
+
+    def _spawn_worker(self) -> threading.Thread:
+        with self._lock:
+            self._worker_seq += 1
+            name = f"knn-worker-{self._worker_seq}"
             t = threading.Thread(
-                target=self._worker_loop, name=f"knn-worker-{i}", daemon=True
+                target=self._worker_loop, name=name, daemon=True
             )
             t.start()
             self._threads.append(t)
-        return self
+        return t
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop the pool; with ``drain`` (default) serve the backlog first."""
+        # Supervisor first — it must not resurrect workers that are
+        # exiting because the server is stopping.
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         dropped: List[PendingRequest] = []
         with self._lock:
             if not self._running:
@@ -243,6 +306,9 @@ class KNNServer:
         for t in self._threads:
             t.join(timeout)
         self._threads.clear()
+        self._heartbeats.clear()
+        with self._lock:
+            self._abandoned.clear()
 
     def __enter__(self) -> "KNNServer":
         return self.start()
@@ -435,8 +501,30 @@ class KNNServer:
     # Worker internals
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
+        name = threading.current_thread().name
         while True:
-            batch = self._next_batch()
+            with self._lock:
+                if name in self._abandoned:
+                    # The supervisor declared this thread wedged and
+                    # already spawned a replacement; exit quietly.
+                    self._abandoned.discard(name)
+                    return
+            self._heartbeats.beat(name)
+            try:
+                # Chaos hooks: a stall makes this worker miss heartbeats
+                # (the supervisor's wedge detection fires); a kill makes
+                # the thread exit mid-service (death detection fires).
+                fault_check("worker.stall")
+                fault_check("worker.die")
+            except WorkerKilled:
+                reg = obs.REGISTRY
+                if reg.enabled:
+                    reg.counter(
+                        "server_worker_deaths_total",
+                        "worker threads killed by an injected fault",
+                    ).inc()
+                return
+            batch = self._next_batch(name)
             if batch is None:
                 return
             if batch:
@@ -449,10 +537,16 @@ class KNNServer:
             for group in coalesce(batch):
                 self._serve_group(group)
 
-    def _next_batch(self) -> Optional[List[PendingRequest]]:
+    def _next_batch(
+        self, name: Optional[str] = None
+    ) -> Optional[List[PendingRequest]]:
         """Block for work, then drain up to ``max_batch`` requests."""
         with self._work_ready:
             while self._running and not self._queue:
+                if name is not None:
+                    if name in self._abandoned:
+                        return []  # loop re-checks and exits
+                    self._heartbeats.beat(name)
                 self._work_ready.wait(timeout=0.1)
             if not self._queue:
                 if not self._running:
@@ -462,6 +556,59 @@ class KNNServer:
             while self._queue and len(batch) < self.max_batch:
                 batch.append(self._queue.popleft())
             return batch
+
+    def _check_workers(self) -> None:
+        """Supervisor hook: replace dead workers, abandon wedged ones.
+
+        A dead thread (uncaught exception, injected ``worker.die``) is
+        removed and replaced.  A wedged thread — alive but silent for
+        longer than ``wedge_timeout_s`` — cannot be killed from outside
+        in Python, so it is *abandoned*: marked to exit at its next
+        checkpoint and replaced immediately, restoring pool capacity
+        without waiting for the stall to clear.
+        """
+        if not self._running:
+            return
+        with self._lock:
+            threads = list(self._threads)
+        stale: List[tuple] = []
+        for t in threads:
+            if not t.is_alive():
+                stale.append((t, "died"))
+                continue
+            age = self._heartbeats.age_s(t.name)
+            if age is not None and age > self.wedge_timeout_s:
+                stale.append((t, "wedged"))
+        if not stale:
+            return
+        reg = obs.REGISTRY
+        for t, reason in stale:
+            with self._lock:
+                if t in self._threads:
+                    self._threads.remove(t)
+                if reason == "wedged":
+                    self._abandoned.add(t.name)
+                self._stats["worker_restarts"] += 1
+                self._stats[f"worker_restarts_{reason}"] += 1
+            self._heartbeats.drop(t.name)
+            if reg.enabled:
+                reg.counter(
+                    "server_worker_restarts_total",
+                    "workers replaced by the supervisor, by reason",
+                    reason=reason,
+                ).inc()
+            self._spawn_worker()
+
+    def _breaker(self, method: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(method)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown_s=self.breaker_cooldown_s,
+                )
+                self._breakers[method] = breaker
+            return breaker
 
     def _latency(self, request: ServerRequest) -> float:
         return time.monotonic() - request.submitted_at
@@ -473,6 +620,8 @@ class KNNServer:
                 self._stats["cache_hits"] += 1
             if response.coalesced:
                 self._stats["coalesced_hits"] += 1
+            if response.degraded:
+                self._stats["degraded"] += 1
         reg = obs.REGISTRY
         if reg.enabled:
             reg.counter(
@@ -509,7 +658,8 @@ class KNNServer:
                 if reg.enabled:
                     reg.counter(
                         "server_deadline_missed_total",
-                        "requests expired in queue",
+                        "requests whose deadline passed, by stage",
+                        stage="queued",
                     ).inc()
                 self._finish(pending, ServerResponse(
                     request=pending.request,
@@ -521,9 +671,103 @@ class KNNServer:
                 live.append(pending)
         if not live:
             return
+        # Retry budget: transient errors are retried with capped jittered
+        # backoff, but never past the earliest waiter deadline — backing
+        # off into certain expiry helps nobody.
+        deadlines = [
+            p.request.submitted_at + p.request.deadline_s
+            for p in live
+            if p.request.deadline_s is not None
+        ]
+        deadline = min(deadlines) if len(deadlines) == len(live) else None
+        policy = self.retry_policy
+        retries = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            result, cache_hit, error, error_class = self._attempt_group(group)
+            if error is None or not error_class.transient:
+                break
+            if attempt >= policy.max_attempts:
+                break
+            backoff = policy.backoff_s(attempt)
+            if deadline is not None and time.monotonic() + backoff >= deadline:
+                break
+            if reg.enabled:
+                reg.counter(
+                    "server_retries_total",
+                    "transient-error retries, by error class",
+                    **{"class": error_class.name},
+                ).inc()
+            retries += 1
+            # Sleep outside every lock; the next attempt re-acquires the
+            # read lock so a concurrent update is never blocked by a
+            # backing-off worker.
+            time.sleep(backoff)
+        if retries:
+            with self._lock:
+                self._stats["retries"] += retries
+        # Re-check deadlines *after* execution: a request whose deadline
+        # passed while its query ran gets deadline_exceeded, not a late
+        # success the client has already given up on.
+        now = time.monotonic()
+        for i, pending in enumerate(live):
+            if error is None and pending.request.expired(now):
+                if reg.enabled:
+                    reg.counter(
+                        "server_deadline_missed_total",
+                        "requests whose deadline passed, by stage",
+                        stage="executing",
+                    ).inc()
+                response = ServerResponse(
+                    request=pending.request,
+                    status=DEADLINE_EXCEEDED,
+                    error=(
+                        f"expired after {pending.request.deadline_s}s "
+                        "(completed too late)"
+                    ),
+                    latency_s=now - pending.request.submitted_at,
+                    retries=retries,
+                )
+            elif error is not None:
+                response = ServerResponse(
+                    request=pending.request, status=ERROR, error=error,
+                    latency_s=self._latency(pending.request),
+                    retries=retries,
+                )
+            else:
+                response = ServerResponse(
+                    request=pending.request,
+                    status=OK,
+                    result=result,
+                    latency_s=self._latency(pending.request),
+                    cache_hit=cache_hit,
+                    coalesced=i > 0,
+                    degraded=result.degraded,
+                    fallback_from=result.fallback_from,
+                    retries=retries,
+                )
+            self._finish(pending, response)
+
+    def _attempt_group(self, group: BatchGroup):
+        """One attempt at computing a group's answer.
+
+        Returns ``(result, cache_hit, error, error_class)`` — ``error``
+        is None on success, otherwise the formatted message with its
+        :class:`~repro.resilience.errors.ErrorClass` (which the caller
+        consults for retryability).  The circuit breaker of the resolved
+        method gates the attempt: an open breaker steers the query
+        around the method via ``avoid_methods`` instead of letting it
+        fail again; a fallback success still counts as a *primary*
+        failure so the breaker keeps tracking the broken method.
+        """
+        reg = obs.REGISTRY
         cache_hit = False
         result = None
         error: Optional[str] = None
+        error_class = None
+        breaker = None
+        allowed = False
         # The read side of the update lock: queries in this section see
         # a frozen (graph weights, indexes, object sets, cache) world; a
         # concurrent apply_updates waits for it to drain.
@@ -533,10 +777,10 @@ class KNNServer:
                 "serve_group",
                 vertex=group.vertex,
                 k=group.k,
-                waiters=len(live),
+                waiters=len(group.waiters),
             ):
-                engine, objects_fp = self._category_state(group.category)
                 try:
+                    engine, objects_fp = self._category_state(group.category)
                     key = result_key(
                         self._graph_fp,
                         objects_fp,
@@ -547,18 +791,52 @@ class KNNServer:
                         # entries.  This can raise (UnknownMethod on a
                         # bad client-supplied name), so it runs inside
                         # the answer-the-waiters guard.
-                        engine.resolve_method(group.method, group.k),
+                        resolved := engine.resolve_method(group.method, group.k),
                     )
                     result = self.cache.get(key)
                     if result is not None:
                         cache_hit = True
                     else:
+                        breaker = self._breaker(resolved)
+                        allowed = breaker.allow()
+                        if not allowed and reg.enabled:
+                            reg.counter(
+                                "server_breaker_short_circuits_total",
+                                "queries steered around an open breaker",
+                                method=resolved,
+                            ).inc()
                         result = engine.query(
-                            group.vertex, group.k, method=group.method
+                            group.vertex,
+                            group.k,
+                            method=group.method,
+                            avoid_methods=(
+                                frozenset() if allowed
+                                else frozenset((resolved,))
+                            ),
                         )
-                        self.cache.put(key, result)
+                        if allowed:
+                            if result.fallback_from == resolved:
+                                breaker.record_failure()
+                            else:
+                                breaker.record_success()
+                        if not result.degraded:
+                            # A degraded answer is exact but carries
+                            # fallback provenance; caching it would keep
+                            # reporting "degraded" long after the
+                            # primary method recovered.
+                            self.cache.put(key, result)
                 except Exception as exc:  # answer waiters, not the worker
+                    if breaker is not None and allowed:
+                        breaker.record_failure()
+                    result = None
+                    error_class = classify(exc)
                     error = f"{type(exc).__name__}: {exc}"
+                    if reg.enabled:
+                        reg.counter(
+                            "server_errors_total",
+                            "serve errors by taxonomy class",
+                            **{"class": error_class.name},
+                        ).inc()
         if reg.enabled:
             reg.histogram(
                 "server_read_hold_seconds",
@@ -570,22 +848,7 @@ class KNNServer:
                     "result-cache lookups by outcome",
                     outcome="hit" if cache_hit else "miss",
                 ).inc()
-        for i, pending in enumerate(live):
-            if error is not None:
-                response = ServerResponse(
-                    request=pending.request, status=ERROR, error=error,
-                    latency_s=self._latency(pending.request),
-                )
-            else:
-                response = ServerResponse(
-                    request=pending.request,
-                    status=OK,
-                    result=result,
-                    latency_s=self._latency(pending.request),
-                    cache_hit=cache_hit,
-                    coalesced=i > 0,
-                )
-            self._finish(pending, response)
+        return result, cache_hit, error, error_class
 
     # ------------------------------------------------------------------
     # Introspection
@@ -667,6 +930,61 @@ class KNNServer:
                 if k in ("hits", "misses", "evictions", "invalidations")
             }
         return snapshot
+
+    def health(self) -> Dict[str, object]:
+        """A liveness/resilience snapshot for operators.
+
+        Reports worker liveness (configured vs alive, supervisor
+        restarts by reason, per-worker heartbeat ages), every circuit
+        breaker's state machine snapshot, quarantine counts for the
+        serving store and the installed fault plan (None in production).
+        ``status`` is ``"ok"``, ``"degraded"`` (open/half-open breaker
+        or missing workers) or ``"stopped"``.
+        """
+        with self._lock:
+            running = self._running
+            queued = len(self._queue)
+            threads = list(self._threads)
+            breakers = {
+                method: breaker.snapshot()
+                for method, breaker in self._breakers.items()
+            }
+            restarts = {
+                reason: self._stats.get(f"worker_restarts_{reason}", 0)
+                for reason in ("died", "wedged")
+                if self._stats.get(f"worker_restarts_{reason}", 0)
+            }
+            restarts_total = self._stats.get("worker_restarts", 0)
+        alive = sum(1 for t in threads if t.is_alive())
+        store = getattr(self._engines[None].workbench, "store", None)
+        plan = current_plan()
+        degraded = (
+            any(s["state"] != "closed" for s in breakers.values())
+            or (running and alive < self.workers)
+        )
+        status = "stopped" if not running else (
+            "degraded" if degraded else "ok"
+        )
+        return {
+            "status": status,
+            "running": running,
+            "queued": queued,
+            "workers": {
+                "configured": self.workers,
+                "alive": alive,
+                "restarts_total": restarts_total,
+                "restarts": restarts,
+                "heartbeat_age_s": {
+                    name: round(age, 3)
+                    for name, age in self._heartbeats.snapshot().items()
+                },
+            },
+            "breakers": breakers,
+            "quarantine": (
+                quarantine_counts(store.root) if store is not None else {}
+            ),
+            "fault_plan": plan.snapshot() if plan is not None else None,
+        }
 
     def metrics_text(self) -> str:
         """The process-wide metrics registry in Prometheus text format."""

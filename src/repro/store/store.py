@@ -54,6 +54,8 @@ except ImportError:  # non-POSIX: single-writer stores only
 
 import numpy as np
 
+from repro.resilience.faults import fault_check
+
 #: Store format version.  Bump when any ``to_arrays`` layout changes *or*
 #: when an index build algorithm changes in a way that alters its output
 #: (different partitioning, contraction order, compression, ...): the
@@ -224,6 +226,7 @@ class IndexStore:
         params: Optional[Dict[str, object]] = None,
     ) -> ArtifactInfo:
         """Write one artifact atomically and record it in the manifest."""
+        fault_check("store.save")
         self._ensure_root()
         artifact_id = self._artifact_id(kind, key)
         filename = f"{artifact_id}.npz"
@@ -322,6 +325,7 @@ class IndexStore:
         and :class:`StoreCorruption` — never ``KeyError`` — when the
         manifest and disk disagree.
         """
+        fault_check("store.load")
         info = self.info(kind, key)  # raises StoreCorruption on foreign formats
         path = self.root / info.file
         if not path.exists():
@@ -387,6 +391,45 @@ class IndexStore:
                 file_name = entry.get("file")
                 if file_name and (self.root / file_name).exists():
                     (self.root / file_name).unlink()
+
+    def quarantine(self, kind: str, key: str) -> Optional[Path]:
+        """Move one artifact into ``<root>/quarantine/``; drop its entry.
+
+        The corruption-containment primitive behind
+        :func:`repro.resilience.quarantine.quarantine_artifact`: the file
+        is preserved for post-mortem instead of deleted, and the manifest
+        forgets it so the next lookup is a clean
+        :class:`ArtifactMissing` miss (the caller rebuilds).  Returns
+        the quarantined file's new path, or ``None`` when no file was
+        on disk to move.
+        """
+        artifact_id = self._artifact_id(kind, key)
+        moved: Optional[Path] = None
+        with self._locked():
+            try:
+                manifest = self._read_manifest()
+            except StoreCorruption:
+                manifest = None  # whole-manifest damage: gc territory
+            entry = None
+            if manifest is not None:
+                entry = manifest.pop(artifact_id, None)
+                if entry is not None:
+                    self._write_manifest(manifest)
+            file_name = (
+                entry.get("file") if isinstance(entry, dict) else None
+            ) or f"{artifact_id}.npz"
+            src = self.root / file_name
+            if src.exists():
+                qdir = self.root / "quarantine"
+                qdir.mkdir(parents=True, exist_ok=True)
+                dest = qdir / file_name
+                n = 1
+                while dest.exists():
+                    dest = qdir / f"{Path(file_name).stem}.{n}.npz"
+                    n += 1
+                os.replace(src, dest)
+                moved = dest
+        return moved
 
     # ------------------------------------------------------------------
     # Garbage collection

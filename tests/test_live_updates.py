@@ -466,6 +466,44 @@ class TestServerUpdates:
             got = [(n.distance, n.vertex) for n in response.result.neighbors]
             assert got == [(float(d), int(v)) for d, v in truth]
 
+    def test_failing_repair_never_leaves_stale_cache(self):
+        """A weight update whose index repair *fails* must still
+        invalidate every cached answer: the graph already mutated even
+        though the repair did not, so a surviving entry — or serving the
+        unrepaired index — would be a stale (wrong) answer with no
+        provenance.
+        """
+        from repro.resilience import FaultPlan, FaultSpec, plan_installed
+
+        g = fresh_graph(seed=73)
+        shadow = fresh_graph(seed=73)  # identical twin for ground truth
+        objects = sorted(uniform_objects(g, density=0.03, seed=5))
+        with self._server(g, objects) as server:
+            stale = server.query(10, 4, "gtree")
+            assert stale.ok
+            assert server.query(10, 4, "gtree").cache_hit
+            # Inflate the first edge out of the query vertex so the
+            # cached answer is provably wrong afterwards.
+            j = int(g.vertex_start[10])
+            v = int(g.edge_target[j])
+            delta = set_weight(10, v, float(g.edge_weight[j]) * 50.0)
+            plan = FaultPlan(seed=1, specs=(
+                FaultSpec("index.repair", probability=1.0),
+            ))
+            with plan_installed(plan):
+                report = server.apply_updates([delta])
+            assert report.weight_changes  # the graph did mutate
+            assert "gtree" in report.dropped  # repair failed -> dropped
+            assert server.cache.stats()["size"] == 0
+            response = server.query(10, 4, "gtree")
+            assert response.ok and not response.cache_hit
+            assert not response.degraded  # rebuilt, not fallback
+            truth_engine = QueryEngine(shadow, objects)
+            truth_engine.apply_updates([delta])
+            truth = truth_engine.query(10, 4, method="gtree")
+            assert response.result.as_tuples() == truth.as_tuples()
+            assert response.result.as_tuples() != stale.result.as_tuples()
+
     def test_readers_racing_writer_never_see_torn_state(self):
         """The concurrency regression: cached answers racing live updates.
 

@@ -4,6 +4,7 @@ the serving acceptance criteria (speedup, zero builds, identical answers)."""
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -12,12 +13,14 @@ from repro.graph.generators import road_network
 from repro.objects import uniform_objects
 from repro.server import (
     DEADLINE_EXCEEDED,
+    ERROR,
     OK,
     REJECTED,
     KNNServer,
     ResultCache,
     ServerClosed,
     ServerRequest,
+    ServerResponse,
     UnknownCategory,
     category_switching_workload,
     coalesce,
@@ -569,3 +572,211 @@ class TestServingAcceptance:
             assert response.status == "error"
             assert "quantum" in response.error
             assert server.query(5, 3).status == OK
+
+
+# ----------------------------------------------------------------------
+# Resilience: supervisor, breaker, taxonomy, deadlines, client retries
+# ----------------------------------------------------------------------
+class TestServerResilience:
+    """The hardening layer: a chaos event must cost at most a degraded
+    (still exact) answer, never an outage or a wrong one."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_plan(self):
+        from repro.resilience import clear_plan
+
+        clear_plan()
+        yield
+        clear_plan()
+
+    @staticmethod
+    def _wait_for(predicate, timeout_s=5.0, interval_s=0.02):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(interval_s)
+        return predicate()
+
+    def test_supervisor_replaces_dead_worker(self, engine):
+        from repro.resilience import FaultPlan, FaultSpec, plan_installed
+
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec("worker.die", nth_calls=(1,)),
+        ))
+        with plan_installed(plan):
+            with make_server(
+                engine, supervise=True, heartbeat_interval_s=0.05
+            ) as server:
+                # The first worker to reach its fault checkpoint dies;
+                # the supervisor must notice and spawn a replacement.
+                assert self._wait_for(
+                    lambda: server.health()["workers"]["restarts_total"] >= 1
+                ), "supervisor never replaced the dead worker"
+                assert self._wait_for(
+                    lambda: server.health()["workers"]["alive"]
+                    == server.workers
+                )
+                health = server.health()
+                assert health["workers"]["restarts"] == {"died": 1}
+                assert health["status"] == "ok"  # fully recovered
+                assert server.query(7, 3).status == OK
+
+    def test_supervisor_abandons_wedged_worker(self, engine):
+        from repro.resilience import FaultPlan, FaultSpec, plan_installed
+
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec("worker.stall", nth_calls=(1,), stall_s=1.5),
+        ))
+        with plan_installed(plan):
+            with make_server(
+                engine,
+                supervise=True,
+                heartbeat_interval_s=0.05,
+                wedge_timeout_s=0.2,
+            ) as server:
+                assert self._wait_for(
+                    lambda: server.health()["workers"]["restarts_total"] >= 1
+                ), "supervisor never flagged the wedged worker"
+                assert server.health()["workers"]["restarts"] == {
+                    "wedged": 1
+                }
+                # The replacement serves while the original still sleeps.
+                assert server.query(7, 3).status == OK
+                # Once the stall ends, the abandoned thread exits at its
+                # next checkpoint: back to exactly `workers` live threads.
+                assert self._wait_for(
+                    lambda: server.health()["workers"]["alive"]
+                    == server.workers,
+                    timeout_s=6.0,
+                )
+
+    def test_breaker_opens_short_circuits_and_recovers(self, engine):
+        from repro.resilience import (
+            FaultPlan,
+            FaultSpec,
+            clear_plan,
+            install_plan,
+        )
+
+        with make_server(
+            engine,
+            workers=1,
+            cache_capacity=0,  # every query computes (no cache bypass)
+            breaker_threshold=2,
+            breaker_cooldown_s=0.2,
+        ) as server:
+            install_plan(FaultPlan(seed=1, specs=(
+                FaultSpec("kernel.sssp", probability=1.0),
+            )))
+            # Two consecutive primary (ine) failures trip the breaker;
+            # every answer is still exact via the fallback chain.
+            for vertex in (3, 5):
+                response = server.query(vertex, 3)
+                assert response.status == OK
+                assert response.degraded
+                assert response.fallback_from == "ine"
+            health = server.health()
+            assert health["breakers"]["ine"]["state"] == "open"
+            assert health["status"] == "degraded"
+            # Open: the broken method is steered around pre-emptively,
+            # giving the same degraded provenance without a failure.
+            response = server.query(9, 3)
+            assert response.status == OK and response.degraded
+            clear_plan()
+            time.sleep(0.25)  # past the cooldown: next attempt probes
+            response = server.query(11, 3)
+            assert response.status == OK and not response.degraded
+            breaker = server.health()["breakers"]["ine"]
+            assert breaker["state"] == "closed"
+            assert breaker["opened_total"] == 1
+            assert breaker["closed_after_open"] == 1
+            assert server.health()["status"] == "ok"
+
+    def test_error_taxonomy_counter_in_metrics(self, engine):
+        from repro.obs import REGISTRY
+
+        REGISTRY.reset()
+        try:
+            with make_server(engine, workers=1) as server:
+                response = server.query(5, 3, "quantum")
+                assert response.status == "error"
+                assert "unknown method" in response.error
+                text = server.metrics_text()
+                assert 'server_errors_total{class="client"} 1' in text
+        finally:
+            REGISTRY.reset()
+
+    def test_deadline_expiring_mid_execution(self, engine, monkeypatch):
+        original = engine.query
+
+        def slow_query(*args, **kwargs):
+            time.sleep(0.15)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(engine, "query", slow_query)
+        with make_server(engine, workers=1, cache_capacity=0) as server:
+            response = server.query(7, 3, deadline_s=0.08)
+            assert response.status == DEADLINE_EXCEEDED
+            assert "completed too late" in response.error
+
+    def test_client_retry_resubmits_errors_then_sticks(self, engine):
+        from repro.server.loadgen import _RetryingClient
+
+        class FlakyServer:
+            """submit() answers ERROR twice, then delegates for real."""
+
+            def __init__(self, real):
+                self.real = real
+                self.calls = 0
+
+            def submit(self, vertex, k, method="auto", *, category=None):
+                self.calls += 1
+                if self.calls <= 2:
+                    request = ServerRequest(
+                        vertex=vertex, k=k, method=method, category=category
+                    )
+                    pending = PendingRequest(request)
+                    pending.complete(ServerResponse(
+                        request=request, status=ERROR, error="flaky",
+                    ))
+                    return pending
+                return self.real.submit(
+                    vertex, k, method, category=category
+                )
+
+        items = uniform_workload(engine.graph, 1, 3, seed=2)
+        with make_server(engine, workers=1) as real:
+            flaky = FlakyServer(real)
+            retrier = _RetryingClient(retries=3, backoff_s=0.001)
+            pending = retrier.drive(flaky, items[0], timeout_s=10.0)
+            response = pending.result(timeout=0)
+        assert response.status == OK
+        assert retrier.total == 2  # two resubmissions, third stuck
+        assert flaky.calls == 3
+
+    def test_rejections_are_not_retried_client_side(self, engine):
+        from repro.server.loadgen import _RetryingClient
+
+        class RejectingServer:
+            def __init__(self):
+                self.calls = 0
+
+            def submit(self, vertex, k, method="auto", *, category=None):
+                self.calls += 1
+                request = ServerRequest(
+                    vertex=vertex, k=k, method=method, category=category
+                )
+                pending = PendingRequest(request)
+                pending.complete(ServerResponse(
+                    request=request, status=REJECTED, error="queue full",
+                ))
+                return pending
+
+        items = uniform_workload(road_network(50, seed=1), 1, 3, seed=2)
+        rejecting = RejectingServer()
+        retrier = _RetryingClient(retries=5, backoff_s=0.001)
+        pending = retrier.drive(rejecting, items[0], timeout_s=1.0)
+        assert pending.result(timeout=0).status == REJECTED
+        assert retrier.total == 0  # admission control is respected
+        assert rejecting.calls == 1
