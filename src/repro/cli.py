@@ -21,6 +21,11 @@ Examples::
     python -m repro store ls --store ./store
     python -m repro store gc --store ./store
 
+    # stream a (gzipped) DIMACS file into a memory-mappable artifact,
+    # then serve it zero-copy
+    python -m repro ingest --gr USA.gr.gz --co USA.co.gz --store ./store
+    python -m repro serve --store ./store --graph-key <printed key>
+
     # serve queries concurrently from stdin over warm indexes
     python -m repro serve --vertices 2000 --store ./store --workers 4
 
@@ -54,9 +59,11 @@ from repro.engine import (
 from repro.experiments.runner import Workbench, measure_query_time, random_queries
 from repro.graph.dimacs import load_dimacs
 from repro.graph.generators import road_network, travel_time_weights
+from repro.graph.graph import Graph
 from repro.objects import uniform_objects
 from repro.store import (
     INDEX_KINDS,
+    STORE_FORMATS,
     ArtifactMissing,
     IndexStore,
     StoreError,
@@ -70,7 +77,14 @@ from repro.utils.counters import BUILD_COUNTERS
 
 
 def _build_graph(args: argparse.Namespace):
-    if getattr(args, "gr", None):
+    if getattr(args, "graph_key", None):
+        store = _open_store(args)
+        if store is None:
+            raise StoreError("--graph-key requires --store PATH")
+        # Zero-copy for flat artifacts: the serve/loadtest workers then
+        # share one mapped graph through the page cache.
+        graph = Graph.from_store_mmap(store, args.graph_key)
+    elif getattr(args, "gr", None):
         graph = load_dimacs(args.gr, getattr(args, "co", None))
     else:
         graph = road_network(args.vertices, seed=args.seed)
@@ -81,7 +95,8 @@ def _build_graph(args: argparse.Namespace):
 
 def _open_store(args: argparse.Namespace) -> Optional[IndexStore]:
     path = getattr(args, "store", None)
-    return IndexStore(path) if path else None
+    fmt = getattr(args, "store_format", None) or "npz"
+    return IndexStore(path, format=fmt) if path else None
 
 
 def _validate_methods(methods: Optional[Sequence[str]]) -> Optional[str]:
@@ -301,14 +316,21 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
         print(f"{store.root}: empty store{stale_note}")
         return 0
     total_kb = sum(e.nbytes for e in entries) / 1024
+    mapped_kb = sum(e.mapped_nbytes for e in entries) / 1024
     print(f"{store.root}: {len(entries)} artifacts, "
-          f"{total_kb:.0f} KB on disk{stale_note}")
-    print(f"{'kind':11} {'key':17} {'size':>9} {'build':>8}  params")
+          f"{total_kb:.0f} KB on disk, {mapped_kb:.0f} KB mapped{stale_note}")
+    print(f"{'kind':11} {'key':17} {'fmt':4} {'on-disk':>9} {'mapped':>9} "
+          f"{'build':>8}  params")
     for e in entries:
         params = ", ".join(f"{k}={v}" for k, v in sorted(e.params.items()))
+        # mapped_nbytes is 0 on entries written before the field existed;
+        # show "-" so operators can spot artifacts needing migration.
+        mapped = f"{e.mapped_nbytes / 1024:>7.0f}KB" if e.mapped_nbytes else (
+            f"{'-':>9}"
+        )
         print(
-            f"{e.kind:11} {e.key:17} {e.nbytes / 1024:>7.0f}KB "
-            f"{e.build_time_s:>7.2f}s  {params or '-'}"
+            f"{e.kind:11} {e.key:17} {e.format:4} {e.nbytes / 1024:>7.0f}KB "
+            f"{mapped} {e.build_time_s:>7.2f}s  {params or '-'}"
         )
     return 0
 
@@ -732,6 +754,42 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a DIMACS file into a store graph artifact.
+
+    Unlike ``--gr`` on the other commands (which materialises the whole
+    arc set through ``load_dimacs``), ingest runs the chunked
+    sort/spill/merge pipeline under ``--memory-budget-mb`` and writes
+    straight to the store — the path for continental-scale inputs.  The
+    printed key feeds ``--graph-key`` on query/serve/loadtest.
+    """
+    from repro.graph.ingest import ingest_dimacs
+
+    store = _open_store(args)
+    report = ingest_dimacs(
+        args.gr,
+        args.co,
+        store,
+        name=args.name,
+        memory_budget_mb=args.memory_budget_mb,
+        restrict_to_lcc=not args.keep_components,
+        tmp_dir=args.tmp_dir,
+    )
+    print(f"{args.gr} -> {store.root} [{store.format}]")
+    print(f"  vertices        {report.num_vertices}")
+    print(f"  edges           {report.num_edges}")
+    print(f"  arcs read       {report.arcs_read} "
+          f"({report.runs_spilled} sorted run(s) spilled)")
+    if report.restricted_to_lcc and report.components_dropped:
+        print(f"  components dropped  {report.components_dropped}")
+    print(f"  artifact        {report.artifact_nbytes / 1e6:.1f} MB on disk, "
+          f"{report.artifact_mapped_nbytes / 1e6:.1f} MB mapped")
+    print(f"  ingest time     {report.ingest_time_s:.2f}s")
+    print(f"  graph key       {report.key}")
+    print(f"load it with: --store {store.root} --graph-key {report.key}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     degrees = np.diff(graph.vertex_start)
@@ -761,6 +819,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kernel", choices=("python", "array"),
                        help="hot-path kernel (default: array; 'python' runs "
                             "the reference per-edge loops)")
+        p.add_argument("--graph-key",
+                       help="load the graph from a store artifact (requires "
+                            "--store; flat artifacts load zero-copy via mmap)")
 
     q = sub.add_parser("query", help="answer one kNN query with every method")
     common(q)
@@ -795,7 +856,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "hub_labels tnr)")
     b.add_argument("--density", type=float,
                    help="also save a uniform object set at this density")
+    b.add_argument("--store-format", choices=STORE_FORMATS, default="npz",
+                   help="artifact payload format ('flat' writes per-array "
+                        ".npy files that load as read-only memory maps)")
     b.set_defaults(func=cmd_build)
+
+    ig = sub.add_parser(
+        "ingest",
+        help="stream a DIMACS .gr/.co (optionally .gz) into a store graph "
+             "artifact under a memory budget",
+    )
+    ig.add_argument("--gr", required=True,
+                    help="DIMACS .gr or .gr.gz arc file")
+    ig.add_argument("--co", help="DIMACS .co or .co.gz coordinate file")
+    ig.add_argument("--store", required=True,
+                    help="index store directory (created if absent)")
+    ig.add_argument("--store-format", choices=STORE_FORMATS, default="flat",
+                    help="artifact payload format (default flat: per-array "
+                         ".npy files served zero-copy via mmap)")
+    ig.add_argument("--memory-budget-mb", type=float, default=512.0,
+                    help="ingest working-set budget; parse chunks, spill "
+                         "runs and vectorised blocks derive from it")
+    ig.add_argument("--name", help="graph name (default: the .gr basename)")
+    ig.add_argument("--keep-components", action="store_true",
+                    help="keep disconnected fragments instead of restricting "
+                         "to the largest connected component")
+    ig.add_argument("--tmp-dir",
+                    help="scratch directory for spill runs (default: system "
+                         "temp; point at a large disk for continental inputs)")
+    ig.set_defaults(func=cmd_ingest)
 
     s = sub.add_parser("store", help="inspect or clean an index store")
     ssub = s.add_subparsers(dest="store_command", required=True)

@@ -19,6 +19,7 @@ experiment harness and back-compat imports.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
@@ -166,7 +167,17 @@ class IndexCache:
                 index = load_index(
                     self.store, kind, self.graph, params=params, deps=deps
                 )
-            self._note_obtained(kind, "loaded")
+            # A flat artifact arrives as read-only mmap views shared
+            # through the page cache; label the counter so operators can
+            # see which loads were zero-copy.  Such an index repairs
+            # like any store-loaded one: RepairUnavailable -> drop and
+            # rebuild (its arrays are not writable anyway).
+            source = "loaded"
+            with contextlib.suppress(StoreError):
+                info = self.store.info(kind, artifact_key(self.graph, params))
+                if getattr(info, "format", "npz") == "flat":
+                    source = "loaded_mmap"
+            self._note_obtained(kind, source)
             return index
         except ArtifactMissing:
             pass

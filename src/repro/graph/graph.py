@@ -259,6 +259,53 @@ class Graph:
             weight_kind=str(arrays.get("weight_kind", "distance")),
         )
 
+    #: (array name, target dtype) pairs :meth:`from_store_mmap` verifies
+    #: stay zero-copy.
+    _CSR_FIELDS = (
+        ("vertex_start", np.int64),
+        ("edge_target", np.int32),
+        ("edge_weight", np.float64),
+        ("x", np.float64),
+        ("y", np.float64),
+    )
+
+    @classmethod
+    def from_store_mmap(cls, store, key: str) -> "Graph":
+        """Construct a graph over a store artifact **without copying**.
+
+        For a ``flat`` artifact the CSR arrays are read-only memory maps:
+        construction touches no data pages, the OS faults them in on
+        first access, and every process mapping the same store shares
+        them through the page cache.  For a legacy ``npz`` artifact the
+        arrays materialise (that is the transparent-fallback contract) —
+        still one copy, never two.
+
+        A no-copy guard verifies each array the graph holds shares
+        memory with the loaded view; a silent copy (e.g. a dtype drift
+        in a foreign artifact) raises ``StoreError`` rather than quietly
+        doubling a continental-scale footprint.  The resulting graph is
+        immutable: ``apply_weight_deltas`` on mapped weights raises
+        ``ValueError`` (read-only array), by design.
+        """
+        from repro.store.store import StoreError
+
+        arrays = store.get("graph", key)
+        graph = cls.from_arrays(arrays)
+        mapped = getattr(store.info("graph", key), "format", "npz") == "flat"
+        if mapped:
+            for name, _dtype in cls._CSR_FIELDS:
+                if not np.shares_memory(getattr(graph, name), arrays[name]):
+                    raise StoreError(
+                        f"from_store_mmap copied array {name!r} (dtype "
+                        f"{arrays[name].dtype} in artifact); the flat "
+                        "artifact was written with a foreign layout"
+                    )
+        return graph
+
+    #: Rows hashed per :meth:`fingerprint` chunk — bounds the transient
+    #: heap cost of hashing to ~32 MB regardless of graph size.
+    _FINGERPRINT_CHUNK = 4 << 20
+
     def fingerprint(self) -> str:
         """Content hash of topology, weights and coordinates (cached).
 
@@ -266,9 +313,16 @@ class Graph:
         an index saved for one network can never be served for another —
         including the same topology under different edge weights (the
         travel-time variants).
+
+        Hashing walks each array in bounded chunks: ``tobytes()`` on a
+        whole continental-scale array would allocate a full heap copy
+        (and fault in every page of a memory-mapped graph at once).  The
+        digest is byte-identical to whole-array hashing for the
+        C-contiguous 1-D arrays a graph holds.
         """
         if self._fingerprint is None:
             h = hashlib.sha256()
+            step = self._FINGERPRINT_CHUNK
             for arr in (
                 self.vertex_start,
                 self.edge_target,
@@ -276,7 +330,9 @@ class Graph:
                 self.x,
                 self.y,
             ):
-                h.update(np.ascontiguousarray(arr).tobytes())
+                flat = arr if arr.ndim == 1 else np.ascontiguousarray(arr)
+                for i in range(0, len(flat), step):
+                    h.update(np.ascontiguousarray(flat[i : i + step]).tobytes())
             h.update(self.weight_kind.encode())
             self._fingerprint = h.hexdigest()
         return self._fingerprint

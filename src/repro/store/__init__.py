@@ -22,6 +22,7 @@ CLI equivalents: ``repro build`` (prebuild + save), ``repro store ls``,
 
 from repro.store.store import (
     FORMAT_VERSION,
+    STORE_FORMATS,
     ArtifactInfo,
     ArtifactMissing,
     IndexStore,
@@ -48,6 +49,7 @@ __all__ = [
     "StoreCorruption",
     "StoreError",
     "FORMAT_VERSION",
+    "STORE_FORMATS",
     "artifact_key",
     "INDEX_KINDS",
     "IndexKind",

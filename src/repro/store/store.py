@@ -10,12 +10,32 @@ content hash of the *graph* and the *build parameters*, with a JSON
 manifest recording the store format version, per-array shapes and the
 original build wall-time.
 
+Two payload formats live under the same manifest scheme:
+
+* ``"npz"`` (default) — one compressed ``.npz`` per artifact.  Small on
+  disk, but every load decompresses and materialises every array in
+  every process.
+* ``"flat"`` — one *directory* of per-array ``.npy`` files written via
+  ``np.lib.format``.  Loads return **read-only memory maps**
+  (``np.load(..., mmap_mode="r")``): pages are faulted in on demand and
+  shared across processes through the OS page cache, which is what makes
+  continental-scale graphs (millions of vertices) servable without
+  copying the arrays per worker.
+
+The knob is per-*store* for writes (``IndexStore(root, format="flat")``)
+and per-*entry* for reads: the manifest records each artifact's format,
+so a store can hold a mix and old ``.npz`` artifacts keep loading
+transparently from a store opened with ``format="flat"``.
+
 Layout::
 
     <root>/
         manifest.json               # format version + artifact records
-        gtree-1f2e3d4c5b6a7988.npz  # one artifact per (kind, key)
-        road-...npz
+        gtree-1f2e3d4c5b6a7988.npz  # one npz artifact per (kind, key)
+        graph-9a8b7c6d5e4f3a2b.flat/   # ... or one flat directory
+            vertex_start.npy
+            edge_target.npy
+            ...
 
 Integrity rules:
 
@@ -39,6 +59,7 @@ import contextlib
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 import time
 import zipfile
@@ -62,6 +83,10 @@ from repro.resilience.faults import fault_check
 #: version participates in every artifact key, so a bump makes all older
 #: artifacts clean misses, and ``gc`` reclaims them.
 FORMAT_VERSION = 1
+
+#: Payload formats a store can write.  Reads always honour the format
+#: recorded per manifest entry, so the knob never invalidates artifacts.
+STORE_FORMATS = ("npz", "flat")
 
 _MANIFEST = "manifest.json"
 
@@ -102,6 +127,13 @@ class ArtifactInfo:
     created_at: float
     nbytes: int
     params: Dict[str, object] = field(default_factory=dict)
+    #: Payload format ("npz" | "flat").  Defaults to "npz" so manifests
+    #: written before the flat format existed keep parsing unchanged.
+    format: str = "npz"
+    #: Sum of the arrays' in-memory sizes (``arr.nbytes``) — what a full
+    #: materialisation costs, vs ``nbytes`` which is the on-disk size.
+    #: 0 on entries written before the field existed.
+    mapped_nbytes: int = 0
 
 
 def canonical_params(params: Optional[Dict[str, object]]) -> Dict[str, object]:
@@ -143,10 +175,22 @@ def artifact_key(graph, params: Optional[Dict[str, object]] = None) -> str:
 
 
 class IndexStore:
-    """A directory of versioned, content-addressed ``.npz`` artifacts."""
+    """A directory of versioned, content-addressed artifacts.
 
-    def __init__(self, root) -> None:
+    ``format`` selects the payload written by :meth:`put`: ``"npz"``
+    (compressed, fully materialised on load) or ``"flat"`` (per-array
+    ``.npy`` files, loaded as read-only memory maps).  Reads dispatch on
+    the format recorded in each manifest entry, so either setting reads
+    a store containing both.
+    """
+
+    def __init__(self, root, format: str = "npz") -> None:
+        if format not in STORE_FORMATS:
+            raise ValueError(
+                f"unknown store format {format!r}; choose from {STORE_FORMATS}"
+            )
         self.root = Path(root).expanduser()
+        self.format = format
 
     def _ensure_root(self) -> None:
         """Create the store directory on first *write* — read-only
@@ -225,29 +269,34 @@ class IndexStore:
         build_time_s: float = 0.0,
         params: Optional[Dict[str, object]] = None,
     ) -> ArtifactInfo:
-        """Write one artifact atomically and record it in the manifest."""
+        """Write one artifact atomically and record it in the manifest.
+
+        The payload format is the store's ``format`` knob.  Re-putting a
+        (kind, key) that exists under the *other* format replaces the
+        manifest entry; the superseded payload becomes an orphan the
+        next ``gc`` reclaims — that is the whole migration story.
+        """
         fault_check("store.save")
         self._ensure_root()
         artifact_id = self._artifact_id(kind, key)
-        filename = f"{artifact_id}.npz"
+        if self.format == "flat":
+            filename = f"{artifact_id}.flat"
+            tmp = self._write_flat_tmp(artifact_id, arrays)
+        else:
+            filename = f"{artifact_id}.npz"
+            tmp = self._write_npz_tmp(artifact_id, arrays)
         path = self.root / filename
-        # Unique temp name per writer: two processes racing to save the
-        # same artifact each publish a complete file; last rename wins.
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=f"{artifact_id}-", suffix=".npz.tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(fh, **arrays)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
         # Publish + register under one lock so a concurrent gc can never
         # see the renamed file without its manifest entry (and sweep it
         # as an orphan).
         with self._locked():
             try:
+                if self.format == "flat" and path.is_dir():
+                    # os.replace cannot overwrite a non-empty directory;
+                    # drop the superseded payload first.  Readers that
+                    # already mapped it keep their pages (POSIX unlink
+                    # semantics) — only new opens see the replacement.
+                    shutil.rmtree(path)
                 os.replace(tmp, path)
             except FileNotFoundError as exc:
                 # A concurrent `store gc --all` swept our in-flight tmp;
@@ -259,7 +308,7 @@ class IndexStore:
                 ) from exc
             except BaseException:
                 with contextlib.suppress(OSError):
-                    os.unlink(tmp)
+                    _remove_payload(Path(tmp))
                 raise
             info = ArtifactInfo(
                 artifact_id=artifact_id,
@@ -270,13 +319,61 @@ class IndexStore:
                 shapes={k: list(np.shape(v)) for k, v in arrays.items()},
                 build_time_s=float(build_time_s),
                 created_at=time.time(),
-                nbytes=path.stat().st_size,
+                nbytes=_payload_nbytes(path),
                 params=canonical_params(params),
+                format=self.format,
+                mapped_nbytes=int(
+                    sum(np.asarray(v).nbytes for v in arrays.values())
+                ),
             )
             manifest = self._read_manifest()
             manifest[artifact_id] = asdict(info)
             self._write_manifest(manifest)
         return info
+
+    def _write_npz_tmp(self, artifact_id: str, arrays) -> str:
+        """Write the compressed payload to a unique temp file.
+
+        Unique temp name per writer: two processes racing to save the
+        same artifact each publish a complete file; last rename wins.
+        """
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f"{artifact_id}-", suffix=".npz.tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return tmp
+
+    def _write_flat_tmp(self, artifact_id: str, arrays) -> str:
+        """Write one ``<name>.npy`` per array into a unique temp dir.
+
+        ``np.save`` streams C-contiguous arrays straight to the file
+        object, so saving memmap-backed inputs (the ingest path) never
+        materialises them in RAM.
+        """
+        for name in arrays:
+            if os.sep in name or name != os.path.basename(name) or not name:
+                raise StoreError(
+                    f"array name {name!r} is not a safe flat-artifact "
+                    "member filename"
+                )
+        tmp = tempfile.mkdtemp(
+            dir=self.root, prefix=f"{artifact_id}-", suffix=".flat.tmp"
+        )
+        try:
+            for name, value in arrays.items():
+                with open(Path(tmp) / f"{name}.npy", "wb") as fh:
+                    np.save(fh, np.asarray(value), allow_pickle=False)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                shutil.rmtree(tmp)
+            raise
+        return tmp
 
     @staticmethod
     def _info_from_entry(entry: dict) -> ArtifactInfo:
@@ -321,6 +418,11 @@ class IndexStore:
     def get(self, kind: str, key: str) -> Dict[str, np.ndarray]:
         """Load one artifact's arrays, verifying version, file and shapes.
 
+        Dispatches on the format recorded in the manifest entry: ``npz``
+        artifacts decompress into ordinary (writable) arrays, ``flat``
+        artifacts return **read-only memory maps** — zero-copy views the
+        OS pages in on demand.  Callers that need to mutate must copy.
+
         Raises :class:`ArtifactMissing` on a clean miss (caller builds)
         and :class:`StoreCorruption` — never ``KeyError`` — when the
         manifest and disk disagree.
@@ -334,14 +436,17 @@ class IndexStore:
                 f"(kind={kind!r}, key={key!r}); run `repro store gc` to "
                 "drop the stale entry, then rebuild"
             )
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                arrays = {name: data[name] for name in data.files}
-        except (OSError, ValueError, zipfile.BadZipFile) as exc:
-            raise StoreCorruption(
-                f"artifact file {info.file!r} is unreadable: {exc}; run "
-                "`repro store gc`, then rebuild"
-            ) from exc
+        if info.format == "flat":
+            arrays = self._load_flat(info, path)
+        else:
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    arrays = {name: data[name] for name in data.files}
+            except (OSError, ValueError, zipfile.BadZipFile) as exc:
+                raise StoreCorruption(
+                    f"artifact file {info.file!r} is unreadable: {exc}; run "
+                    "`repro store gc`, then rebuild"
+                ) from exc
         for name, shape in info.shapes.items():
             if name not in arrays or list(arrays[name].shape) != list(shape):
                 raise StoreCorruption(
@@ -349,6 +454,36 @@ class IndexStore:
                     f"mismatch against manifest; run `repro store gc`, "
                     "then rebuild"
                 )
+        return arrays
+
+    def _load_flat(self, info: ArtifactInfo, path: Path) -> Dict[str, np.ndarray]:
+        """Memory-map every member of a flat artifact directory.
+
+        The manifest's ``shapes`` keys name the members, so a member
+        missing on disk is detected here (as :class:`StoreCorruption`),
+        not as a ``KeyError`` in the caller.  Scalar (0-d) members fall
+        back to an eager read marked read-only — ``mmap_mode`` and 0-d
+        headers disagree on some numpy versions and scalars carry no
+        page-cache benefit anyway.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for name in info.shapes:
+            member = path / f"{name}.npy"
+            try:
+                try:
+                    arrays[name] = np.load(
+                        member, mmap_mode="r", allow_pickle=False
+                    )
+                except ValueError:
+                    arr = np.load(member, allow_pickle=False)
+                    arr.setflags(write=False)
+                    arrays[name] = arr
+            except (OSError, ValueError) as exc:
+                raise StoreCorruption(
+                    f"artifact {info.artifact_id!r}: member {member.name!r} "
+                    f"is unreadable: {exc}; run `repro store gc`, then "
+                    "rebuild"
+                ) from exc
         return arrays
 
     def entries(self) -> List[ArtifactInfo]:
@@ -390,7 +525,7 @@ class IndexStore:
                 self._write_manifest(manifest)
                 file_name = entry.get("file")
                 if file_name and (self.root / file_name).exists():
-                    (self.root / file_name).unlink()
+                    _remove_payload(self.root / file_name)
 
     def quarantine(self, kind: str, key: str) -> Optional[Path]:
         """Move one artifact into ``<root>/quarantine/``; drop its entry.
@@ -415,17 +550,25 @@ class IndexStore:
                 entry = manifest.pop(artifact_id, None)
                 if entry is not None:
                     self._write_manifest(manifest)
-            file_name = (
-                entry.get("file") if isinstance(entry, dict) else None
-            ) or f"{artifact_id}.npz"
+            file_name = entry.get("file") if isinstance(entry, dict) else None
+            if file_name is None:
+                # No manifest entry to consult: either payload spelling
+                # may be on disk (damage can hit the manifest itself).
+                for candidate in (f"{artifact_id}.npz", f"{artifact_id}.flat"):
+                    if (self.root / candidate).exists():
+                        file_name = candidate
+                        break
+                else:
+                    file_name = f"{artifact_id}.npz"
             src = self.root / file_name
             if src.exists():
                 qdir = self.root / "quarantine"
                 qdir.mkdir(parents=True, exist_ok=True)
+                suffix = Path(file_name).suffix or ".npz"
                 dest = qdir / file_name
                 n = 1
                 while dest.exists():
-                    dest = qdir / f"{Path(file_name).stem}.{n}.npz"
+                    dest = qdir / f"{Path(file_name).stem}.{n}{suffix}"
                     n += 1
                 os.replace(src, dest)
                 moved = dest
@@ -482,13 +625,16 @@ class IndexStore:
                 if path is not None:
                     condemned_files.add(path.name)
                     if not dry_run and path.exists():
-                        path.unlink()
+                        _remove_payload(path)
             referenced = {entry["file"] for entry in keep.values()}
-            for path in sorted(self.root.glob("*.npz")):
+            orphans = sorted(
+                [*self.root.glob("*.npz"), *self.root.glob("*.flat")]
+            )
+            for path in orphans:
                 if path.name not in referenced and path.name not in condemned_files:
                     removed.append((path.name, "orphaned file"))
                     if not dry_run:
-                        path.unlink()
+                        _remove_payload(path)
             # clear=True is an explicit full-reclaim request and ignores
             # the live-writer window routine gc uses.
             cutoff = time.time() if clear else time.time() - TMP_SWEEP_AGE_S
@@ -501,19 +647,34 @@ class IndexStore:
                     continue  # possibly a live in-flight write: leave it
                 removed.append((path.name, "interrupted write"))
                 if not dry_run:
-                    path.unlink()
+                    _remove_payload(path)
             if not dry_run:
                 self._write_manifest(keep)
         return removed
 
     @staticmethod
     def _payload_problem(entry: dict, path: Path) -> Optional[str]:
-        """Why this artifact file cannot back its manifest entry (or None).
+        """Why this artifact payload cannot back its manifest entry (or None).
 
         The same states :meth:`get` rejects with :class:`StoreCorruption`
-        — unreadable zip, missing arrays, shape drift — so gc reclaims
-        exactly what load refuses to serve.
+        — unreadable zip/headers, missing arrays/members, shape drift —
+        so gc reclaims exactly what load refuses to serve.
         """
+        if entry.get("format", "npz") == "flat":
+            for name, shape in entry.get("shapes", {}).items():
+                member = path / f"{name}.npy"
+                try:
+                    try:
+                        arr = np.load(member, mmap_mode="r", allow_pickle=False)
+                    except ValueError:
+                        arr = np.load(member, allow_pickle=False)
+                except FileNotFoundError:
+                    return f"artifact lacks array {name!r}"
+                except (OSError, ValueError):
+                    return "unreadable artifact file"
+                if list(arr.shape) != list(shape):
+                    return "array shapes disagree with manifest"
+            return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 names = set(data.files)
@@ -528,3 +689,19 @@ class IndexStore:
 
     def total_bytes(self) -> int:
         return sum(e.nbytes for e in self.entries())
+
+
+def _remove_payload(path: Path) -> None:
+    """Remove an artifact payload, whichever shape it has (file or dir)."""
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        with contextlib.suppress(FileNotFoundError):
+            path.unlink()
+
+
+def _payload_nbytes(path: Path) -> int:
+    """On-disk size of a payload: file size, or the sum over a flat dir."""
+    if path.is_dir():
+        return sum(p.stat().st_size for p in path.iterdir() if p.is_file())
+    return path.stat().st_size

@@ -1,5 +1,7 @@
 """DIMACS format round-trip tests."""
 
+import gzip
+
 import numpy as np
 import pytest
 
@@ -49,3 +51,30 @@ class TestRoundTrip:
         assert g.num_vertices == 2  # larger fragment (tie resolved by order)
         full = load_dimacs(str(gr), restrict_to_lcc=False)
         assert full.num_vertices == 5
+
+    def test_gzipped_inputs_load_transparently(self, tmp_path, road400):
+        """``.gr.gz`` / ``.co.gz`` — the spelling DIMACS mirrors ship."""
+        gr = tmp_path / "net.gr"
+        co = tmp_path / "net.co"
+        save_dimacs(road400, str(gr), str(co))
+        gr_gz = tmp_path / "net.gr.gz"
+        co_gz = tmp_path / "net.co.gz"
+        gr_gz.write_bytes(gzip.compress(gr.read_bytes()))
+        co_gz.write_bytes(gzip.compress(co.read_bytes()))
+        plain = load_dimacs(str(gr), str(co))
+        zipped = load_dimacs(str(gr_gz), str(co_gz))
+        assert zipped.fingerprint() == plain.fingerprint()
+
+    def test_ids_beyond_header_count_grow_the_graph(self, tmp_path):
+        """Real exports contain ids past the ``p sp`` count (renumbering
+        gaps); those arcs must land in the graph, not out-of-range."""
+        gr = tmp_path / "gap.gr"
+        gr.write_text(
+            "p sp 2 6\n"
+            "a 1 2 1\n a 2 1 1\n"
+            "a 2 4 2\n a 4 2 2\n"   # vertex 4 > header count 2
+            "a 4 3 1\n a 3 4 1\n"
+        )
+        g = load_dimacs(str(gr), restrict_to_lcc=False)
+        assert g.num_vertices == 4
+        assert g.edge_weight_between(1, 3) == pytest.approx(2.0)

@@ -37,6 +37,31 @@ from repro import cli
 ALL_KINDS = ("gtree", "road", "silc", "ch", "hub_labels", "tnr")
 
 
+@pytest.fixture(params=["npz", "flat"])
+def store_format(request):
+    """Run format-sensitive store tests against both artifact layouts."""
+    return request.param
+
+
+def _delete_payload(path):
+    """Remove an artifact payload — a file (npz) or a directory (flat)."""
+    import shutil
+
+    if path.is_dir():
+        shutil.rmtree(path)
+    else:
+        path.unlink()
+
+
+def _corrupt_payload(path):
+    """Make a payload unreadable: zip garbage, or one garbage member."""
+    if path.is_dir():
+        member = sorted(path.glob("*.npy"))[0]
+        member.write_bytes(b"garbage, not an npy header")
+    else:
+        path.write_bytes(b"garbage, not a zip archive")
+
+
 @pytest.fixture(scope="module")
 def graph250():
     return road_network(250, seed=11)
@@ -58,10 +83,15 @@ def built_store(tmp_path_factory, graph250):
 
 
 @pytest.fixture()
-def tiny_store(tmp_path):
-    """A small fresh store holding one cheap artifact (corruption tests)."""
+def tiny_store(tmp_path, store_format):
+    """A small fresh store holding one cheap artifact (corruption tests).
+
+    Parametrized over both artifact formats, so every corruption / gc /
+    quarantine scenario below is proven for ``.npz`` files *and*
+    ``.flat`` directories.
+    """
     graph = road_network(120, seed=5)
-    store = IndexStore(tmp_path / "tiny")
+    store = IndexStore(tmp_path / "tiny", format=store_format)
     bench = Workbench(graph, store=store)
     bench.road  # build + persist
     return store, graph
@@ -70,8 +100,8 @@ def tiny_store(tmp_path):
 # ----------------------------------------------------------------------
 # Artifact basics
 # ----------------------------------------------------------------------
-def test_graph_artifact_roundtrip(tmp_path, graph250):
-    store = IndexStore(tmp_path)
+def test_graph_artifact_roundtrip(tmp_path, graph250, store_format):
+    store = IndexStore(tmp_path, format=store_format)
     info = save_graph(store, graph250)
     loaded = load_graph(store, info.key)
     assert loaded.fingerprint() == graph250.fingerprint()
@@ -79,8 +109,8 @@ def test_graph_artifact_roundtrip(tmp_path, graph250):
     assert loaded.weight_kind == graph250.weight_kind
 
 
-def test_object_set_roundtrip(tmp_path, graph250, objects250):
-    store = IndexStore(tmp_path)
+def test_object_set_roundtrip(tmp_path, graph250, objects250, store_format):
+    store = IndexStore(tmp_path, format=store_format)
     params = {"density": 0.04, "seed": 3}
     save_objects(store, graph250, objects250, params=params)
     loaded = load_objects(store, graph250, params=params)
@@ -111,6 +141,73 @@ def test_manifest_records_version_shapes_and_build_time(built_store):
         assert entry.shapes  # every artifact records array shapes
         assert entry.build_time_s >= 0.0
         assert (built_store.root / entry.file).exists()
+
+
+def test_flat_arrays_are_readonly_mmap(tmp_path, graph250):
+    """Flat members load as read-only views; mutation must raise."""
+    store = IndexStore(tmp_path, format="flat")
+    info = save_graph(store, graph250)
+    arrays = store.get("graph", info.key)
+    for name in ("vertex_start", "edge_target", "edge_weight", "x", "y"):
+        assert not arrays[name].flags.writeable, name
+        with pytest.raises(ValueError):
+            arrays[name][0] = 0
+    # ...and the mapped data still round-trips bit-for-bit.
+    assert load_graph(store, info.key).fingerprint() == graph250.fingerprint()
+
+
+def test_from_store_mmap_shares_memory_with_flat_artifact(tmp_path, graph250):
+    from repro.graph.graph import Graph
+
+    flat = IndexStore(tmp_path / "flat", format="flat")
+    info = save_graph(flat, graph250)
+    mapped = Graph.from_store_mmap(flat, info.key)
+    for name, _ in Graph._CSR_FIELDS:
+        arr = getattr(mapped, name)
+        # Each CSR array must be a view over the store's memory map
+        # (from_store_mmap itself raises StoreError on any copy).
+        assert isinstance(arr, np.memmap) or isinstance(
+            arr.base, np.memmap
+        ), name
+        assert not arr.flags.writeable, name
+    assert mapped.fingerprint() == graph250.fingerprint()
+    # Legacy npz artifacts take the same entry point (materialised —
+    # the transparent-fallback contract) and answer identically.
+    npz = IndexStore(tmp_path / "npz")
+    info2 = save_graph(npz, graph250)
+    fallback = Graph.from_store_mmap(npz, info2.key)
+    assert fallback.fingerprint() == graph250.fingerprint()
+
+
+def test_mixed_format_store_and_upgrade_path(tmp_path, graph250):
+    """One manifest can hold both layouts; a re-put upgrades in place.
+
+    Opening an old npz store with ``format="flat"`` must (a) keep every
+    existing artifact readable, (b) write *new* artifacts flat, and
+    (c) on re-put of an existing key, swap the entry to flat and leave
+    the superseded npz payload to gc.
+    """
+    npz_store = IndexStore(tmp_path / "s")  # default format: npz
+    info = save_graph(npz_store, graph250)
+    old_file = npz_store.info("graph", info.key).file
+    assert old_file.endswith(".npz")
+
+    flat_store = IndexStore(tmp_path / "s", format="flat")
+    loaded = load_graph(flat_store, info.key)
+    assert loaded.fingerprint() == graph250.fingerprint()
+
+    info2 = save_graph(flat_store, graph250)
+    entry = flat_store.info("graph", info2.key)
+    assert entry.format == "flat"
+    assert entry.file.endswith(".flat")
+    assert entry.mapped_nbytes > 0
+    # The npz payload the entry no longer references is orphaned...
+    swept = dict(flat_store.gc())
+    assert swept.get(old_file) == "orphaned file"
+    # ...and the store still serves the upgraded artifact.
+    assert load_graph(flat_store, info2.key).fingerprint() == (
+        graph250.fingerprint()
+    )
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +344,7 @@ def _single_entry(store):
 def test_missing_file_raises_store_corruption(tiny_store):
     store, graph = tiny_store
     entry = _single_entry(store)
-    (store.root / entry.file).unlink()
+    _delete_payload(store.root / entry.file)
     with pytest.raises(StoreCorruption) as excinfo:
         load_index(store, "road", graph, params={"levels": None, "seed": 0})
     assert not isinstance(excinfo.value, KeyError)
@@ -266,7 +363,7 @@ def test_cache_miss_path_quarantines_corruption(tiny_store):
 
     store, graph = tiny_store
     entry = _single_entry(store)
-    (store.root / entry.file).unlink()
+    _delete_payload(store.root / entry.file)
     reset_quarantine_counts()
     try:
         road = Workbench(graph, store=store).road
@@ -308,14 +405,20 @@ def test_shape_mismatch_raises_store_corruption(tiny_store):
 def test_gc_reclaims_missing_version_mismatch_and_orphans(tiny_store):
     store, graph = tiny_store
     entry = _single_entry(store)
-    # Sabotage 1: delete the artifact file behind the manifest entry.
-    (store.root / entry.file).unlink()
-    # Sabotage 2: drop an orphaned npz no manifest entry references.
+    # Sabotage 1: delete the artifact payload behind the manifest entry.
+    _delete_payload(store.root / entry.file)
+    # Sabotage 2: orphaned payloads no manifest entry references — one
+    # of each layout, since gc must sweep stray directories too.
     (store.root / "stray-deadbeef.npz").write_bytes(b"not a zip")
+    stray_dir = store.root / "stray-cafebabe.flat"
+    stray_dir.mkdir()
+    (stray_dir / "x.npy").write_bytes(b"not an npy")
     removed = store.gc()
     reasons = dict(removed)
     assert reasons[entry.artifact_id] == "missing artifact file"
     assert reasons["stray-deadbeef.npz"] == "orphaned file"
+    assert reasons["stray-cafebabe.flat"] == "orphaned file"
+    assert not stray_dir.exists()
     assert store.entries() == []
     # After gc the store is a clean miss again, so the cache rebuilds.
     bench = Workbench(graph, store=store)
@@ -326,7 +429,7 @@ def test_gc_reclaims_missing_version_mismatch_and_orphans(tiny_store):
 def test_gc_dry_run_removes_nothing(tiny_store):
     store, _ = tiny_store
     entry = _single_entry(store)
-    (store.root / entry.file).unlink()
+    _delete_payload(store.root / entry.file)
     removed = store.gc(dry_run=True)
     assert removed  # reported...
     assert len(store.entries()) == 1  # ...but manifest untouched
@@ -473,13 +576,14 @@ def test_gc_clear_empties_the_store(tiny_store):
     assert removed
     assert store.entries() == []
     assert list(store.root.glob("*.npz")) == []
+    assert list(store.root.glob("*.flat")) == []
 
 
 def test_gc_reclaims_unreadable_artifact_payload(tiny_store):
-    """gc removes exactly what load refuses to serve (truncated zip)."""
+    """gc removes exactly what load refuses to serve (garbage payload)."""
     store, graph = tiny_store
     entry = _single_entry(store)
-    (store.root / entry.file).write_bytes(b"garbage, not a zip archive")
+    _corrupt_payload(store.root / entry.file)
     removed = dict(store.gc())
     assert removed[entry.artifact_id] == "unreadable artifact file"
     assert store.entries() == []
@@ -490,7 +594,7 @@ def test_gc_reclaims_unreadable_artifact_payload(tiny_store):
 def test_unreadable_artifact_file_raises_store_corruption(tiny_store):
     store, graph = tiny_store
     entry = _single_entry(store)
-    (store.root / entry.file).write_bytes(b"garbage, not a zip archive")
+    _corrupt_payload(store.root / entry.file)
     with pytest.raises(StoreCorruption) as excinfo:
         load_index(store, "road", graph, params={"levels": None, "seed": 0})
     assert "unreadable" in str(excinfo.value)
